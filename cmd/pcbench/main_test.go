@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"gisnav/internal/engine"
+)
+
+func TestScaleParams(t *testing.T) {
+	for _, scale := range []string{"small", "medium", "large"} {
+		p, err := scaleParams(scale, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", scale, err)
+		}
+		if p.Seed != 7 || p.Density <= 0 || p.TilesX <= 0 {
+			t.Fatalf("%s params = %+v", scale, p)
+		}
+	}
+	small, _ := scaleParams("small", 1)
+	large, _ := scaleParams("large", 1)
+	if small.Region.Area() >= large.Region.Area() {
+		t.Fatal("scales must grow")
+	}
+	if _, err := scaleParams("galactic", 1); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+}
+
+func TestColumnOf(t *testing.T) {
+	if columnOf("z (terrain band)") != engine.ColZ {
+		t.Fatal("z label wrong")
+	}
+	if columnOf("gps_time (1% window)") != engine.ColGPSTime {
+		t.Fatal("gps label wrong")
+	}
+}
+
+func TestSqrtHelper(t *testing.T) {
+	if got := sqrt(0.25); got < 0.499 || got > 0.501 {
+		t.Fatalf("sqrt(0.25) = %v", got)
+	}
+	if sqrt(0) != 0 || sqrt(-1) != 0 {
+		t.Fatal("non-positive input should be 0")
+	}
+}

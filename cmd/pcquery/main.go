@@ -1,0 +1,101 @@
+// Command pcquery loads a generated dataset and executes SQL against it,
+// either one-shot (-q) or as a small REPL on stdin. With -explain every
+// query also prints its per-operator execution trace — the view the demo
+// exposes in its second scenario (§4.2).
+//
+// Usage:
+//
+//	pcquery -data data -q "SELECT count(*) FROM ahn2 WHERE classification = 9"
+//	pcquery -data data -explain              # REPL
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gisnav/internal/bench"
+	"gisnav/internal/dataset"
+	"gisnav/internal/sql"
+)
+
+func main() {
+	var (
+		dir     = flag.String("data", "data", "dataset directory (from lasgen)")
+		query   = flag.String("q", "", "one-shot query; REPL when empty")
+		explain = flag.Bool("explain", false, "print per-operator execution traces")
+		maxRows = flag.Int("maxrows", 20, "result rows to display")
+	)
+	flag.Parse()
+
+	db, st, err := dataset.Load(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcquery:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d points from %d tiles in %s (%s)\n",
+		st.Points, st.Files, st.Total().Round(time.Millisecond),
+		bench.Throughput(st.Points, st.Total()))
+	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
+
+	exec := sql.New(db)
+	if *query != "" {
+		if err := runOne(exec, *query, *explain, *maxRows); err != nil {
+			fmt.Fprintln(os.Stderr, "pcquery:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println(`enter SQL (empty line or "quit" to exit):`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return
+		}
+		if err := runOne(exec, line, *explain, *maxRows); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func runOne(exec *sql.Executor, q string, explain bool, maxRows int) error {
+	start := time.Now()
+	res, err := exec.Query(q)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	tbl := bench.NewTable("", res.Columns...)
+	shown := 0
+	for _, row := range res.Rows {
+		if shown >= maxRows {
+			break
+		}
+		cells := make([]any, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		tbl.AddRow(cells...)
+		shown++
+	}
+	tbl.WriteTo(os.Stdout)
+	if len(res.Rows) > shown {
+		fmt.Printf("... %d more rows\n", len(res.Rows)-shown)
+	}
+	fmt.Printf("%d row(s) in %s\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	if explain {
+		fmt.Println("\nplan:")
+		fmt.Print(res.Explain.String())
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Command pcviz regenerates the paper's two figures from a generated
+// dataset, standing in for the QGIS front-end:
+//
+//	-fig 1  renders the LIDAR point cloud coloured by elevation (Figure 1)
+//	-fig 2  renders roads, rivers and land cover from the OSM and Urban
+//	        Atlas layers (Figure 2)
+//
+// Usage:
+//
+//	pcviz -data data -fig 1 -out figure1.ppm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gisnav/internal/dataset"
+	"gisnav/internal/engine"
+	"gisnav/internal/geom"
+	"gisnav/internal/synth"
+	"gisnav/internal/viz"
+)
+
+func main() {
+	var (
+		dir  = flag.String("data", "data", "dataset directory (from lasgen)")
+		fig  = flag.Int("fig", 1, "figure to render: 1 (LIDAR) or 2 (OSM+UA)")
+		out  = flag.String("out", "", "output PPM path (default figureN.ppm)")
+		size = flag.Int("size", 1024, "image width/height in pixels")
+	)
+	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("figure%d.ppm", *fig)
+	}
+
+	db, _, err := dataset.Load(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcviz:", err)
+		os.Exit(1)
+	}
+	var canvas *viz.Canvas
+	switch *fig {
+	case 1:
+		canvas, err = renderFigure1(db, *size)
+	case 2:
+		canvas, err = renderFigure2(db, *size)
+	default:
+		err = fmt.Errorf("unknown figure %d", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcviz:", err)
+		os.Exit(1)
+	}
+	if err := canvas.SavePPM(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "pcviz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%dx%d)\n", *out, canvas.W, canvas.H)
+}
+
+// renderFigure1 plots the point cloud coloured by elevation, with intensity
+// shading — the stand-in for the paper's 3-D AHN2 rendering.
+func renderFigure1(db *engine.DB, size int) (*viz.Canvas, error) {
+	pc, err := db.PointCloud(dataset.TableCloud)
+	if err != nil {
+		return nil, err
+	}
+	ext := pc.Extent()
+	c := viz.NewCanvas(size, size, ext, viz.Color{R: 10, G: 10, B: 20})
+	xs, ys, zs := pc.X(), pc.Y(), pc.Z()
+	zlo, zhi, ok := pc.Column(engine.ColZ).MinMax()
+	if !ok {
+		return c, nil
+	}
+	span := zhi - zlo
+	if span == 0 {
+		span = 1
+	}
+	intensity := pc.Column(engine.ColIntensity)
+	for i := range xs {
+		t := (zs[i] - zlo) / span
+		col := viz.ElevationRamp(t)
+		shade := 0.7 + 0.3*intensity.Value(i)/1100
+		c.DrawPoint(xs[i], ys[i], 0, viz.Shade(col, shade))
+	}
+	return c, nil
+}
+
+// renderFigure2 plots the land-use coverage with the road and water network
+// on top — the stand-in for the paper's OSM + Urban Atlas map.
+func renderFigure2(db *engine.DB, size int) (*viz.Canvas, error) {
+	ua, err := db.Vector(dataset.TableUA)
+	if err != nil {
+		return nil, err
+	}
+	osm, err := db.Vector(dataset.TableOSM)
+	if err != nil {
+		return nil, err
+	}
+	ext := db.Extent()
+	c := viz.NewCanvas(size, size, ext, viz.White)
+
+	// Land-use zones first (fills).
+	for i := 0; i < ua.Len(); i++ {
+		if p, ok := ua.Geometry(i).(geom.Polygon); ok {
+			c.FillPolygon(p, uaColor(ua.Class(i)))
+		}
+	}
+
+	// Vector layers on top.
+	for i := 0; i < osm.Len(); i++ {
+		g := osm.Geometry(i)
+		switch osm.Class(i) {
+		case synth.ClassMotorway:
+			drawLines(c, g, 3, viz.Color{R: 200, G: 40, B: 40})
+		case synth.ClassPrimary:
+			drawLines(c, g, 2, viz.Color{R: 240, G: 160, B: 40})
+		case synth.ClassResidential:
+			drawLines(c, g, 1, viz.Color{R: 120, G: 120, B: 120})
+		case synth.ClassRiver:
+			drawLines(c, g, 3, viz.Color{R: 40, G: 90, B: 200})
+		case synth.ClassCanal:
+			drawLines(c, g, 1, viz.Color{R: 90, G: 140, B: 220})
+		case synth.ClassPOI:
+			if p, ok := g.(geom.Point); ok {
+				c.DrawPoint(p.X, p.Y, 3, viz.Color{R: 90, G: 30, B: 120})
+			}
+		}
+	}
+	return c, nil
+}
+
+// drawLines renders line geometries of any multiplicity.
+func drawLines(c *viz.Canvas, g geom.Geometry, width int, col viz.Color) {
+	switch t := g.(type) {
+	case geom.LineString:
+		c.DrawLineString(t, width, col)
+	case geom.MultiLineString:
+		for _, l := range t.Lines {
+			c.DrawLineString(l, width, col)
+		}
+	}
+}
+
+func uaColor(code string) viz.Color {
+	switch code {
+	case synth.UAContinuousUrban:
+		return viz.Color{R: 190, G: 60, B: 60}
+	case synth.UADiscontinuousUrban:
+		return viz.Color{R: 230, G: 140, B: 120}
+	case synth.UAFastTransit:
+		return viz.Color{R: 150, G: 150, B: 160}
+	case synth.UAGreenUrban:
+		return viz.Color{R: 120, G: 200, B: 120}
+	case synth.UAArable:
+		return viz.Color{R: 240, G: 230, B: 160}
+	case synth.UAForest:
+		return viz.Color{R: 40, G: 130, B: 60}
+	case synth.UAWater:
+		return viz.Color{R: 120, G: 170, B: 230}
+	default:
+		return viz.Color{R: 220, G: 220, B: 220}
+	}
+}

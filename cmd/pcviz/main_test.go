@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"gisnav/internal/geom"
+	"gisnav/internal/synth"
+	"gisnav/internal/viz"
+)
+
+func TestUAColorDistinctPerClass(t *testing.T) {
+	codes := []string{
+		synth.UAContinuousUrban, synth.UADiscontinuousUrban, synth.UAFastTransit,
+		synth.UAGreenUrban, synth.UAArable, synth.UAForest, synth.UAWater, "junk",
+	}
+	seen := map[viz.Color]string{}
+	for _, c := range codes {
+		col := uaColor(c)
+		if prev, dup := seen[col]; dup {
+			t.Fatalf("classes %s and %s share colour %v", prev, c, col)
+		}
+		seen[col] = c
+	}
+}
+
+func TestDrawLinesHandlesMulti(t *testing.T) {
+	c := viz.NewCanvas(50, 50, geom.NewEnvelope(0, 0, 50, 50), viz.Black)
+	ml := geom.MultiLineString{Lines: []geom.LineString{
+		{Points: []geom.Point{{X: 5, Y: 25}, {X: 45, Y: 25}}},
+	}}
+	drawLines(c, ml, 1, viz.White)
+	lit := false
+	for px := 0; px < 50; px++ {
+		for py := 20; py < 30; py++ {
+			if c.At(px, py) == viz.White {
+				lit = true
+			}
+		}
+	}
+	if !lit {
+		t.Fatal("multilinestring not drawn")
+	}
+	// Non-line geometry is ignored without panic.
+	drawLines(c, geom.Point{X: 1, Y: 1}, 1, viz.White)
+}

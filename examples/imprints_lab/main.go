@@ -1,0 +1,114 @@
+// Imprints lab: a guided tour of the column imprints secondary index
+// (SIGMOD'13; paper §2.1.1) — how the bins are placed, how the cacheline
+// dictionary compresses clustered data, how candidate sets shrink with more
+// bins, and why imprints stay robust on shuffled (unclustered) input.
+//
+// Run with:
+//
+//	go run ./examples/imprints_lab
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"gisnav/internal/bench"
+	"gisnav/internal/colstore"
+	"gisnav/internal/imprints"
+)
+
+func main() {
+	const n = 1_000_000
+
+	// Three value distributions over the same domain.
+	sorted := make([]float64, n)
+	for i := range sorted {
+		sorted[i] = float64(i) / 100 // strictly increasing: perfect clustering
+	}
+	rng := rand.New(rand.NewSource(1))
+	clustered := make([]float64, n) // locally clustered: random walk
+	v := 5000.0
+	for i := range clustered {
+		v += rng.NormFloat64() * 2
+		clustered[i] = v
+	}
+	shuffled := append([]float64(nil), sorted...)
+	rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	fmt.Println("-- 1. build anatomy on 1M float64 values")
+	tbl := bench.NewTable("", "distribution", "build", "lines", "stored vectors", "compression", "overhead")
+	cols := map[string][]float64{}
+	for _, c := range []struct {
+		name string
+		vals []float64
+	}{{"sorted", sorted}, {"random walk", clustered}, {"shuffled", shuffled}} {
+		var im *imprints.Imprints
+		d := bench.Measure(func() {
+			var err error
+			im, err = imprints.Build(c.vals, imprints.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+		})
+		s := im.Stats()
+		tbl.AddRow(c.name, d, s.Lines, s.Vectors,
+			fmt.Sprintf("%.1fx", s.CompressionRatio),
+			fmt.Sprintf("%.2f%%", s.OverheadPercent))
+		cols[c.name] = c.vals
+	}
+	fmt.Print(tbl.String())
+
+	fmt.Println("\n-- 2. candidate fraction vs number of bins (1% range query)")
+	tbl2 := bench.NewTable("", "bins", "sorted", "random walk", "shuffled")
+	for _, bits := range []int{8, 16, 32, 64} {
+		row := []any{bits}
+		for _, name := range []string{"sorted", "random walk", "shuffled"} {
+			im, err := imprints.Build(cols[name], imprints.Options{Bits: bits})
+			if err != nil {
+				log.Fatal(err)
+			}
+			lo := quantile(cols[name], 0.45)
+			hi := quantile(cols[name], 0.46)
+			row = append(row, fmt.Sprintf("%.3f", im.CandidateFraction(lo, hi)))
+		}
+		tbl2.AddRow(row...)
+	}
+	fmt.Print(tbl2.String())
+
+	fmt.Println("\n-- 3. the exactness invariant (superset property)")
+	im, err := imprints.Build(clustered, imprints.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := quantile(clustered, 0.30), quantile(clustered, 0.31)
+	ranges := im.CandidateRanges(lo, hi)
+	matches, covered := 0, 0
+	for i, val := range clustered {
+		if val >= lo && val <= hi {
+			matches++
+			for _, r := range ranges {
+				if i >= r.Start && i < r.End {
+					covered++
+					break
+				}
+			}
+		}
+	}
+	fmt.Printf("range [%.1f, %.1f]: %d true matches, %d inside candidate ranges (must be equal)\n",
+		lo, hi, matches, covered)
+	if matches != covered {
+		log.Fatal("superset invariant violated!")
+	}
+	fmt.Printf("candidate rows: %d of %d (%.2f%% of the column touched)\n",
+		total(ranges), n, 100*float64(total(ranges))/float64(n))
+}
+
+func quantile(vals []float64, q float64) float64 {
+	cp := append([]float64(nil), vals...)
+	sort.Float64s(cp)
+	return cp[int(q*float64(len(cp)-1))]
+}
+
+func total(rs []colstore.Range) int { return colstore.RangesLen(rs) }

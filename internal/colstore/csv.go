@@ -1,0 +1,90 @@
+package colstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV codec. This is the loading path the paper's binary loader replaces:
+// values are rendered to text, written out, re-tokenised and re-parsed. It
+// exists as the baseline for the load experiment (E1); the binary path in
+// WriteBinary/AppendBinary is the paper's contribution.
+
+// WriteCSV renders the table (parallel columns) as comma-separated rows.
+func WriteCSV(w io.Writer, cols []Column) error {
+	if len(cols) == 0 {
+		return nil
+	}
+	n := cols[0].Len()
+	for _, c := range cols[1:] {
+		if c.Len() != n {
+			return fmt.Errorf("colstore: ragged table: %d vs %d rows", c.Len(), n)
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for row := 0; row < n; row++ {
+		for i, c := range cols {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if err := writeCSVValue(bw, c, row); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeCSVValue(bw *bufio.Writer, c Column, row int) error {
+	var err error
+	switch t := c.(type) {
+	case *F64Column:
+		_, err = bw.WriteString(strconv.FormatFloat(t.Values()[row], 'g', -1, 64))
+	case *I64Column:
+		_, err = bw.WriteString(strconv.FormatInt(t.Values()[row], 10))
+	case *I32Column:
+		_, err = bw.WriteString(strconv.FormatInt(int64(t.Values()[row]), 10))
+	case *U16Column:
+		_, err = bw.WriteString(strconv.FormatUint(uint64(t.Values()[row]), 10))
+	case *U8Column:
+		_, err = bw.WriteString(strconv.FormatUint(uint64(t.Values()[row]), 10))
+	case *StrColumn:
+		_, err = bw.WriteString(t.String(row))
+	default:
+		_, err = bw.WriteString(strconv.FormatFloat(c.Value(row), 'g', -1, 64))
+	}
+	return err
+}
+
+// AppendCSV parses comma-separated rows from r and appends them to the
+// columns. String fields must not contain commas (the synthetic datasets
+// honour this; a full RFC 4180 reader is out of scope for the baseline).
+func AppendCSV(r io.Reader, cols []Column) (rows int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(cols) {
+			return rows, fmt.Errorf("colstore: row %d has %d fields, want %d", rows, len(fields), len(cols))
+		}
+		for i, f := range fields {
+			if err := cols[i].AppendText(f); err != nil {
+				return rows, fmt.Errorf("colstore: row %d field %d: %w", rows, i, err)
+			}
+		}
+		rows++
+	}
+	return rows, sc.Err()
+}

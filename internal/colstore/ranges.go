@@ -1,0 +1,45 @@
+package colstore
+
+// IntersectRanges intersects two sorted, non-overlapping range lists,
+// returning the rows present in both. The query engine uses it to combine
+// the candidate cacheline sets produced by the X and Y column imprints.
+func IntersectRanges(a, b []Range) []Range {
+	var out []Range
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if lo < hi {
+			out = append(out, Range{lo, hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return MergeRanges(out)
+}
+
+// RangesContain reports whether row is covered by the sorted range list.
+func RangesContain(rs []Range, row int) bool {
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case row < rs[mid].Start:
+			hi = mid
+		case row >= rs[mid].End:
+			lo = mid + 1
+		default:
+			return true
+		}
+	}
+	return false
+}

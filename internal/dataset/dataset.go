@@ -1,0 +1,164 @@
+// Package dataset ties the generators, the file formats and the engine
+// together: it materialises the demo's three datasets on disk (LIDAR tiles,
+// OSM-like vectors, Urban-Atlas-like zones) and loads them back into an
+// engine catalog. The command-line tools and examples share it.
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gisnav/internal/engine"
+	"gisnav/internal/geom"
+	"gisnav/internal/lastools"
+	"gisnav/internal/synth"
+)
+
+// Canonical file names inside a dataset directory.
+const (
+	TilesSubdir = "tiles"
+	OSMFile     = "osm.tsv"
+	UAFile      = "ua.tsv"
+)
+
+// Table names the datasets register under in the engine catalog.
+const (
+	TableCloud = "ahn2"
+	TableOSM   = "osm"
+	TableUA    = "ua"
+)
+
+// Params configures dataset generation.
+type Params struct {
+	// Region is the modelled extent in metres. Default 4000×4000.
+	Region geom.Envelope
+	// TilesX and TilesY shape the tile grid. Default 4×4.
+	TilesX, TilesY int
+	// Density is points per square metre. Default 0.05.
+	Density float64
+	// Format is the LAS point format. Default 3 (GPS time + RGB).
+	Format uint8
+	// Compressed selects LAZ-sim tiles.
+	Compressed bool
+	// UACells is the Urban-Atlas coverage resolution per side. Default 40.
+	UACells int
+	// Seed drives all generators.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Region.IsEmpty() || p.Region.Area() == 0 {
+		p.Region = geom.NewEnvelope(0, 0, 4000, 4000)
+	}
+	if p.TilesX <= 0 {
+		p.TilesX = 4
+	}
+	if p.TilesY <= 0 {
+		p.TilesY = 4
+	}
+	if p.Density <= 0 {
+		p.Density = 0.05
+	}
+	if p.Format == 0 {
+		p.Format = 3
+	}
+	if p.UACells <= 0 {
+		p.UACells = 40
+	}
+	if p.Seed == 0 {
+		p.Seed = 2015
+	}
+	return p
+}
+
+// Info describes a generated dataset.
+type Info struct {
+	Dir    string
+	Region geom.Envelope
+	Points int
+	Tiles  int
+	OSM    int
+	UA     int
+}
+
+// Generate materialises all three datasets under dir.
+func Generate(dir string, p Params) (Info, error) {
+	p = p.withDefaults()
+	info := Info{Dir: dir, Region: p.Region}
+	terrain := synth.NewTerrain(p.Seed, p.Region)
+
+	ds, err := synth.WriteTiles(terrain, p.Region, p.TilesX, p.TilesY, p.Density,
+		p.Format, p.Compressed, p.Seed, filepath.Join(dir, TilesSubdir))
+	if err != nil {
+		return info, fmt.Errorf("dataset: tiles: %w", err)
+	}
+	info.Points = ds.Points
+	info.Tiles = len(ds.Files)
+
+	osm := synth.GenerateOSM(terrain, p.Seed+1)
+	if err := synth.WriteOSMFile(filepath.Join(dir, OSMFile), osm); err != nil {
+		return info, fmt.Errorf("dataset: osm: %w", err)
+	}
+	info.OSM = len(osm)
+
+	ua := synth.GenerateUrbanAtlas(terrain, synth.Motorways(osm), p.UACells, p.UACells, p.Seed+2)
+	if err := synth.WriteUAFile(filepath.Join(dir, UAFile), ua); err != nil {
+		return info, fmt.Errorf("dataset: ua: %w", err)
+	}
+	info.UA = len(ua)
+	return info, nil
+}
+
+// Load reads a generated dataset directory into a fresh engine catalog via
+// the binary bulk loader, returning the catalog and load statistics.
+func Load(dir string) (*engine.DB, engine.LoadStats, error) {
+	repo, err := lastools.Open(filepath.Join(dir, TilesSubdir))
+	if err != nil {
+		return nil, engine.LoadStats{}, fmt.Errorf("dataset: %w", err)
+	}
+	pc := engine.NewPointCloud()
+	st, err := engine.LoadBinary(pc, repo)
+	if err != nil {
+		return nil, st, err
+	}
+
+	db := engine.NewDB()
+	db.RegisterPointCloud(TableCloud, pc)
+
+	if feats, err := loadOSM(dir); err == nil {
+		vt := engine.NewVectorTable()
+		for _, f := range feats {
+			vt.Append(f.ID, f.Class, f.Name, f.Geom, nil)
+		}
+		db.RegisterVector(TableOSM, vt)
+	} else if !os.IsNotExist(err) {
+		return nil, st, err
+	}
+
+	if zones, err := loadUA(dir); err == nil {
+		vt := engine.NewVectorTable()
+		for _, z := range zones {
+			vt.Append(int64(z.ID), z.Code, z.Label, z.Geom,
+				map[string]float64{"pop_density": z.PopDensity})
+		}
+		db.RegisterVector(TableUA, vt)
+	} else if !os.IsNotExist(err) {
+		return nil, st, err
+	}
+	return db, st, nil
+}
+
+func loadOSM(dir string) ([]synth.Feature, error) {
+	return synth.ReadOSMFile(filepath.Join(dir, OSMFile))
+}
+
+func loadUA(dir string) ([]synth.Zone, error) {
+	return synth.ReadUAFile(filepath.Join(dir, UAFile))
+}
+
+// Repo opens the tile repository of a dataset directory (for the file-based
+// baseline experiments).
+func Repo(dir string) (*lastools.Repository, error) {
+	return lastools.Open(filepath.Join(dir, TilesSubdir))
+}

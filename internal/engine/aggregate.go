@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gisnav/internal/colstore"
+)
+
+// AggFunc is an aggregate function over a column.
+type AggFunc uint8
+
+// Supported aggregates.
+const (
+	AggCount AggFunc = iota + 1
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the function name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "?"
+	}
+}
+
+// Aggregate computes fn over the named column restricted to the selection
+// vector rows (nil means all rows). Count ignores the column name.
+func (pc *PointCloud) Aggregate(rows []int, fn AggFunc, column string, ex *Explain) (float64, error) {
+	start := time.Now()
+	n := len(rows)
+	all := rows == nil
+	if all {
+		n = pc.Len()
+	}
+	if fn == AggCount {
+		ex.Add("aggregate", "count(*)", n, 1, time.Since(start))
+		return float64(n), nil
+	}
+	col := pc.Column(column)
+	if col == nil {
+		return 0, fmt.Errorf("engine: unknown column %q", column)
+	}
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	acc := func(v float64) {
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if all {
+		for i := 0; i < pc.Len(); i++ {
+			acc(col.Value(i))
+		}
+	} else {
+		switch t := col.(type) {
+		case *colstore.F64Column:
+			vals := t.Values()
+			for _, r := range rows {
+				acc(vals[r])
+			}
+		default:
+			for _, r := range rows {
+				acc(col.Value(r))
+			}
+		}
+	}
+	var res float64
+	switch fn {
+	case AggSum:
+		res = sum
+	case AggAvg:
+		if n == 0 {
+			return 0, fmt.Errorf("engine: avg over empty selection")
+		}
+		res = sum / float64(n)
+	case AggMin:
+		if n == 0 {
+			return 0, fmt.Errorf("engine: min over empty selection")
+		}
+		res = lo
+	case AggMax:
+		if n == 0 {
+			return 0, fmt.Errorf("engine: max over empty selection")
+		}
+		res = hi
+	default:
+		return 0, fmt.Errorf("engine: unknown aggregate %d", fn)
+	}
+	ex.Add("aggregate", fmt.Sprintf("%s(%s)", fn, column), n, 1, time.Since(start))
+	return res, nil
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gisnav/internal/colstore"
+	"gisnav/internal/imprints"
+)
+
+// Column imprints are not specific to coordinates: any numeric column of
+// the flat table can carry one (the SIGMOD'13 index is a general secondary
+// index; the paper deploys it on X and Y for the spatial filter). The
+// engine builds thematic imprints lazily per column, giving range
+// predicates like "z BETWEEN 0 AND 5" or "intensity > 900" the same
+// cacheline-pruning treatment as the spatial filter.
+
+// EnsureColumnImprint returns the imprint of the named column, building it
+// on first use. Imprints built here are dropped by InvalidateIndexes.
+func (pc *PointCloud) EnsureColumnImprint(name string) (*imprints.Imprints, error) {
+	col := pc.Column(name)
+	if col == nil {
+		return nil, fmt.Errorf("engine: unknown column %q", name)
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.colImprints == nil {
+		pc.colImprints = map[string]*imprints.Imprints{}
+	}
+	if im, ok := pc.colImprints[name]; ok {
+		return im, nil
+	}
+	im, err := imprints.BuildColumn(col, pc.ImprintOpts)
+	if err != nil {
+		return nil, err
+	}
+	pc.colImprints[name] = im
+	return im, nil
+}
+
+// FilterRangeIndexed returns the rows whose column value lies in [lo, hi],
+// using the column's imprint for cacheline pruning followed by exact tests
+// within candidate ranges. The result equals a full-column scan.
+func (pc *PointCloud) FilterRangeIndexed(name string, lo, hi float64, ex *Explain) ([]int, error) {
+	im, err := pc.EnsureColumnImprint(name)
+	if err != nil {
+		return nil, err
+	}
+	col := pc.Column(name)
+	start := time.Now()
+	cand := im.CandidateRanges(lo, hi)
+	ex.Add("imprints.filter", fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
+		pc.Len(), colstore.RangesLen(cand), time.Since(start))
+
+	start = time.Now()
+	var rows []int
+	switch t := col.(type) {
+	case *colstore.F64Column:
+		vals := t.Values()
+		for _, r := range cand {
+			for i := r.Start; i < r.End; i++ {
+				if vals[i] >= lo && vals[i] <= hi {
+					rows = append(rows, i)
+				}
+			}
+		}
+	case *colstore.U16Column:
+		vals := t.Values()
+		for _, r := range cand {
+			for i := r.Start; i < r.End; i++ {
+				if v := float64(vals[i]); v >= lo && v <= hi {
+					rows = append(rows, i)
+				}
+			}
+		}
+	case *colstore.U8Column:
+		vals := t.Values()
+		for _, r := range cand {
+			for i := r.Start; i < r.End; i++ {
+				if v := float64(vals[i]); v >= lo && v <= hi {
+					rows = append(rows, i)
+				}
+			}
+		}
+	default:
+		for _, r := range cand {
+			for i := r.Start; i < r.End; i++ {
+				if v := col.Value(i); v >= lo && v <= hi {
+					rows = append(rows, i)
+				}
+			}
+		}
+	}
+	ex.Add("refine.range", fmt.Sprintf("exact tests on %s", name),
+		colstore.RangesLen(cand), len(rows), time.Since(start))
+	return rows, nil
+}
+
+// FilterRangeScan is the unindexed comparison arm: a full-column scan.
+func (pc *PointCloud) FilterRangeScan(name string, lo, hi float64, ex *Explain) ([]int, error) {
+	col := pc.Column(name)
+	if col == nil {
+		return nil, fmt.Errorf("engine: unknown column %q", name)
+	}
+	start := time.Now()
+	var rows []int
+	switch t := col.(type) {
+	case *colstore.F64Column:
+		for i, v := range t.Values() {
+			if v >= lo && v <= hi {
+				rows = append(rows, i)
+			}
+		}
+	default:
+		for i := 0; i < col.Len(); i++ {
+			if v := col.Value(i); v >= lo && v <= hi {
+				rows = append(rows, i)
+			}
+		}
+	}
+	ex.Add("scan.range", fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
+		pc.Len(), len(rows), time.Since(start))
+	return rows, nil
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Step is one operator's entry in an EXPLAIN trace.
+type Step struct {
+	Op       string
+	Detail   string
+	InRows   int
+	OutRows  int
+	Duration time.Duration
+}
+
+// Explain accumulates the per-operator execution trace the demo exposes to
+// users in its second scenario ("the execution time spent in each
+// operator", §4.2).
+type Explain struct {
+	Steps []Step
+}
+
+// Add appends a completed step.
+func (e *Explain) Add(op, detail string, inRows, outRows int, d time.Duration) {
+	if e == nil {
+		return
+	}
+	e.Steps = append(e.Steps, Step{Op: op, Detail: detail, InRows: inRows, OutRows: outRows, Duration: d})
+}
+
+// Timed runs fn and records it as a step; fn returns the output row count.
+func (e *Explain) Timed(op, detail string, inRows int, fn func() int) {
+	start := time.Now()
+	out := fn()
+	e.Add(op, detail, inRows, out, time.Since(start))
+}
+
+// Total returns the summed operator time.
+func (e *Explain) Total() time.Duration {
+	if e == nil {
+		return 0
+	}
+	var t time.Duration
+	for _, s := range e.Steps {
+		t += s.Duration
+	}
+	return t
+}
+
+// String renders the trace as an aligned table.
+func (e *Explain) String() string {
+	if e == nil || len(e.Steps) == 0 {
+		return "(empty plan)"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %-34s %12s %12s %12s\n", "operator", "detail", "rows in", "rows out", "time")
+	for _, s := range e.Steps {
+		fmt.Fprintf(&sb, "%-22s %-34s %12d %12d %12s\n",
+			s.Op, truncateDetail(s.Detail, 34), s.InRows, s.OutRows, s.Duration.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&sb, "%-22s %-34s %12s %12s %12s\n", "total", "", "", "", e.Total().Round(time.Microsecond))
+	return sb.String()
+}
+
+func truncateDetail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"gisnav/internal/colstore"
+)
+
+// CmpOp is a comparison operator for thematic column predicates.
+type CmpOp uint8
+
+// Supported comparison operators.
+const (
+	CmpEQ CmpOp = iota + 1
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpBetween // inclusive [Value, Value2]
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "<>"
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpBetween:
+		return "between"
+	default:
+		return "?"
+	}
+}
+
+// ColumnPred is a thematic predicate over one flat-table column, e.g.
+// classification = 6 or z BETWEEN 0 AND 10. Values are compared in the
+// column's float64 widening.
+type ColumnPred struct {
+	Column string
+	Op     CmpOp
+	Value  float64
+	Value2 float64 // upper bound for CmpBetween
+}
+
+// Matches evaluates the predicate against a single value.
+func (p ColumnPred) Matches(v float64) bool {
+	switch p.Op {
+	case CmpEQ:
+		return v == p.Value
+	case CmpNE:
+		return v != p.Value
+	case CmpLT:
+		return v < p.Value
+	case CmpLE:
+		return v <= p.Value
+	case CmpGT:
+		return v > p.Value
+	case CmpGE:
+		return v >= p.Value
+	case CmpBetween:
+		return v >= p.Value && v <= p.Value2
+	default:
+		return false
+	}
+}
+
+// String renders the predicate.
+func (p ColumnPred) String() string {
+	if p.Op == CmpBetween {
+		return fmt.Sprintf("%s between %g and %g", p.Column, p.Value, p.Value2)
+	}
+	return fmt.Sprintf("%s %s %g", p.Column, p.Op, p.Value)
+}
+
+// FilterRows narrows a selection vector with thematic predicates, one
+// operator-at-a-time pass per predicate (the MonetDB execution style the
+// paper leans on, §2.1.1). A nil rows input means "all rows".
+func (pc *PointCloud) FilterRows(rows []int, preds []ColumnPred, ex *Explain) ([]int, error) {
+	if rows == nil {
+		rows = make([]int, pc.Len())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	for _, pred := range preds {
+		col := pc.Column(pred.Column)
+		if col == nil {
+			return nil, fmt.Errorf("engine: unknown column %q", pred.Column)
+		}
+		start := time.Now()
+		in := len(rows)
+		rows = filterRowsOne(col, rows, pred)
+		ex.Add("filter.column", pred.String(), in, len(rows), time.Since(start))
+	}
+	return rows, nil
+}
+
+// filterRowsOne applies one predicate with typed fast paths.
+func filterRowsOne(col colstore.Column, rows []int, pred ColumnPred) []int {
+	out := rows[:0]
+	switch t := col.(type) {
+	case *colstore.F64Column:
+		vals := t.Values()
+		for _, r := range rows {
+			if pred.Matches(vals[r]) {
+				out = append(out, r)
+			}
+		}
+	case *colstore.U8Column:
+		vals := t.Values()
+		for _, r := range rows {
+			if pred.Matches(float64(vals[r])) {
+				out = append(out, r)
+			}
+		}
+	case *colstore.U16Column:
+		vals := t.Values()
+		for _, r := range rows {
+			if pred.Matches(float64(vals[r])) {
+				out = append(out, r)
+			}
+		}
+	case *colstore.I32Column:
+		vals := t.Values()
+		for _, r := range rows {
+			if pred.Matches(float64(vals[r])) {
+				out = append(out, r)
+			}
+		}
+	default:
+		for _, r := range rows {
+			if pred.Matches(col.Value(r)) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}

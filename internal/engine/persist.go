@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// On-disk layout of a persisted point-cloud table: one raw little-endian
+// dump per column (the same representation COPY BINARY consumes, so a
+// persisted database re-opens by appending its own dumps) plus a JSON
+// manifest carrying the schema and row count.
+//
+//	<dir>/manifest.json
+//	<dir>/col_<name>.bin
+
+// manifestName is the metadata file inside a table directory.
+const manifestName = "manifest.json"
+
+// manifest describes a persisted table.
+type manifest struct {
+	FormatVersion int             `json:"format_version"`
+	Rows          int             `json:"rows"`
+	Columns       []manifestField `json:"columns"`
+}
+
+type manifestField struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// manifestVersion is bumped on incompatible layout changes.
+const manifestVersion = 1
+
+// Save writes the point cloud to dir (created if needed). Existing column
+// files are overwritten; the manifest is written last so a partially
+// written directory never validates.
+func (pc *PointCloud) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	m := manifest{FormatVersion: manifestVersion, Rows: pc.Len()}
+	for i, f := range pc.schema.Fields {
+		path := filepath.Join(dir, "col_"+f.Name+".bin")
+		file, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("engine: save %s: %w", f.Name, err)
+		}
+		if _, err := pc.cols[i].WriteBinary(file); err != nil {
+			file.Close()
+			return fmt.Errorf("engine: save %s: %w", f.Name, err)
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		m.Columns = append(m.Columns, manifestField{Name: f.Name, Type: f.Type.String()})
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), blob, 0o644)
+}
+
+// OpenPointCloud loads a table persisted by Save. The manifest schema must
+// match the current 26-attribute schema exactly; the format is a storage
+// layout, not a migration boundary.
+func OpenPointCloud(dir string) (*PointCloud, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("engine: open: bad manifest: %w", err)
+	}
+	if m.FormatVersion != manifestVersion {
+		return nil, fmt.Errorf("engine: open: format version %d, want %d", m.FormatVersion, manifestVersion)
+	}
+	if m.Rows < 0 {
+		return nil, fmt.Errorf("engine: open: negative row count")
+	}
+	pc := NewPointCloud()
+	if len(m.Columns) != len(pc.schema.Fields) {
+		return nil, fmt.Errorf("engine: open: manifest has %d columns, schema wants %d",
+			len(m.Columns), len(pc.schema.Fields))
+	}
+	for i, f := range pc.schema.Fields {
+		mf := m.Columns[i]
+		if mf.Name != f.Name || mf.Type != f.Type.String() {
+			return nil, fmt.Errorf("engine: open: column %d is %s/%s, schema wants %s/%s",
+				i, mf.Name, mf.Type, f.Name, f.Type)
+		}
+		path := filepath.Join(dir, "col_"+f.Name+".bin")
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("engine: open %s: %w", f.Name, err)
+		}
+		if err := pc.cols[i].AppendBinary(file, m.Rows); err != nil {
+			file.Close()
+			return nil, fmt.Errorf("engine: open %s: %w", f.Name, err)
+		}
+		file.Close()
+	}
+	if err := validateSameLength(pc.cols); err != nil {
+		return nil, err
+	}
+	return pc, nil
+}
+
+// ColumnFileBytes reports the on-disk size of each persisted column, for
+// storage accounting.
+func ColumnFileBytes(dir string) (map[string]int64, error) {
+	sizes := map[string]int64{}
+	for _, f := range PointCloudSchema().Fields {
+		fi, err := os.Stat(filepath.Join(dir, "col_"+f.Name+".bin"))
+		if err != nil {
+			return nil, err
+		}
+		sizes[f.Name] = fi.Size()
+	}
+	return sizes, nil
+}

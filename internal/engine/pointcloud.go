@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gisnav/internal/colstore"
+	"gisnav/internal/geom"
+	"gisnav/internal/grid"
+	"gisnav/internal/imprints"
+	"gisnav/internal/las"
+)
+
+// PointCloud is the flat-table point-cloud store: 26 parallel columns plus
+// lazily built column imprints on the X and Y coordinates. It is safe for
+// concurrent readers; appends require external exclusion (the bulk loader is
+// single-writer, as in the paper's pipeline).
+type PointCloud struct {
+	schema colstore.Schema
+	cols   []colstore.Column
+
+	// Typed fast paths into the coordinate columns.
+	xs, ys, zs *colstore.F64Column
+
+	// Imprint configuration and the lazily built indexes. The paper builds
+	// imprints when the first range query arrives (§3.2).
+	ImprintOpts imprints.Options
+	GridOpts    grid.Options
+	// Parallel enables multi-core refinement for large candidate sets
+	// (MonetDB executes operators in parallel; results are identical).
+	Parallel bool
+
+	mu          sync.Mutex
+	imprintX    *imprints.Imprints
+	imprintY    *imprints.Imprints
+	colImprints map[string]*imprints.Imprints
+}
+
+// NewPointCloud returns an empty flat table with the 26-attribute schema.
+func NewPointCloud() *PointCloud {
+	schema := PointCloudSchema()
+	cols := schema.NewColumns()
+	return &PointCloud{
+		schema: schema,
+		cols:   cols,
+		xs:     cols[0].(*colstore.F64Column),
+		ys:     cols[1].(*colstore.F64Column),
+		zs:     cols[2].(*colstore.F64Column),
+	}
+}
+
+// Len reports the row count.
+func (pc *PointCloud) Len() int { return pc.xs.Len() }
+
+// Schema returns the table schema.
+func (pc *PointCloud) Schema() colstore.Schema { return pc.schema }
+
+// Column returns the column with the given name, or nil.
+func (pc *PointCloud) Column(name string) colstore.Column {
+	i := pc.schema.FieldIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return pc.cols[i]
+}
+
+// Columns returns all columns in schema order.
+func (pc *PointCloud) Columns() []colstore.Column { return pc.cols }
+
+// X, Y, Z expose the coordinate columns' backing slices.
+func (pc *PointCloud) X() []float64 { return pc.xs.Values() }
+
+// Y returns the Y coordinate slice.
+func (pc *PointCloud) Y() []float64 { return pc.ys.Values() }
+
+// Z returns the Z coordinate slice.
+func (pc *PointCloud) Z() []float64 { return pc.zs.Values() }
+
+// Extent returns the 2-D bounding box of the cloud.
+func (pc *PointCloud) Extent() geom.Envelope {
+	env := geom.EmptyEnvelope()
+	xlo, xhi, ok := pc.xs.MinMax()
+	if !ok {
+		return env
+	}
+	ylo, yhi, _ := pc.ys.MinMax()
+	return geom.NewEnvelope(xlo, ylo, xhi, yhi)
+}
+
+// AppendLAS bulk-appends LAS points row-wise (the slow reference path; the
+// binary loader in loader.go is the paper's fast path).
+func (pc *PointCloud) AppendLAS(pts []las.Point) {
+	for _, p := range pts {
+		appendLASPoint(pc.cols, p)
+	}
+	pc.InvalidateIndexes()
+}
+
+// InvalidateIndexes drops the imprints; they rebuild on the next query.
+func (pc *PointCloud) InvalidateIndexes() {
+	pc.mu.Lock()
+	pc.imprintX, pc.imprintY = nil, nil
+	pc.colImprints = nil
+	pc.mu.Unlock()
+}
+
+// HasImprints reports whether the coordinate imprints are currently built.
+func (pc *PointCloud) HasImprints() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.imprintX != nil && pc.imprintY != nil
+}
+
+// EnsureImprints builds the X and Y imprints if absent, returning the build
+// time (zero when already present). Mirrors MonetDB's create-on-first-query
+// behaviour (§3.2).
+func (pc *PointCloud) EnsureImprints() time.Duration {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.ensureImprintsLocked()
+}
+
+// ensureImprintsLocked builds the coordinate imprints; pc.mu must be held.
+func (pc *PointCloud) ensureImprintsLocked() time.Duration {
+	if pc.imprintX != nil && pc.imprintY != nil {
+		return 0
+	}
+	start := time.Now()
+	ix, err := imprints.Build(pc.xs.Values(), pc.ImprintOpts)
+	if err != nil {
+		// Options are programmer-controlled; invalid ones are a bug.
+		panic(fmt.Sprintf("engine: building x imprints: %v", err))
+	}
+	iy, err := imprints.Build(pc.ys.Values(), pc.ImprintOpts)
+	if err != nil {
+		panic(fmt.Sprintf("engine: building y imprints: %v", err))
+	}
+	pc.imprintX, pc.imprintY = ix, iy
+	return time.Since(start)
+}
+
+// imprintsXY returns stable references to the coordinate imprints, building
+// them if a concurrent invalidation raced the caller's EnsureImprints. The
+// returned values stay valid even if the table's indexes are invalidated
+// afterwards (imprints are immutable once built).
+func (pc *PointCloud) imprintsXY() (*imprints.Imprints, *imprints.Imprints) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.ensureImprintsLocked()
+	return pc.imprintX, pc.imprintY
+}
+
+// ImprintStats returns the index statistics of both coordinate imprints
+// (building them if needed).
+func (pc *PointCloud) ImprintStats() (x, y imprints.Stats) {
+	pc.EnsureImprints()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.imprintX.Stats(), pc.imprintY.Stats()
+}
+
+// Bytes reports the flat table payload size (columns only).
+func (pc *PointCloud) Bytes() int {
+	n := 0
+	for _, c := range pc.cols {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// IndexBytes reports the imprint storage (0 when not built).
+func (pc *PointCloud) IndexBytes() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	n := 0
+	if pc.imprintX != nil {
+		n += pc.imprintX.Bytes()
+	}
+	if pc.imprintY != nil {
+		n += pc.imprintY.Bytes()
+	}
+	return n
+}
+
+// Selection is the result of a spatial selection: matching row ids in
+// ascending order plus the operator trace that produced them.
+type Selection struct {
+	Rows    []int
+	Explain *Explain
+	Refine  grid.Stats
+}
+
+// SelectBox returns the rows inside env using filter–refine.
+func (pc *PointCloud) SelectBox(env geom.Envelope) Selection {
+	return pc.SelectRegion(grid.GeometryRegion{G: env.ToPolygon()})
+}
+
+// SelectGeometry returns the rows inside geometry g using filter–refine.
+func (pc *PointCloud) SelectGeometry(g geom.Geometry) Selection {
+	return pc.SelectRegion(grid.GeometryRegion{G: g})
+}
+
+// SelectDWithin returns the rows within distance d of geometry g — the
+// "LIDAR points near ..." predicate of scenario 2.
+func (pc *PointCloud) SelectDWithin(g geom.Geometry, d float64) Selection {
+	return pc.SelectRegion(grid.BufferRegion{G: g, D: d})
+}
+
+// SelectRegion runs the two-step query model over an arbitrary region:
+//  1. filter — imprints on X and Y flag candidate cache lines for the
+//     region's bounding box; the candidate sets intersect.
+//  2. refine — the regular grid classifies cells against the region and
+//     only boundary cells fall back to exact point tests.
+func (pc *PointCloud) SelectRegion(region grid.Region) Selection {
+	ex := &Explain{}
+	env := region.Envelope()
+	if env.IsEmpty() || pc.Len() == 0 {
+		ex.Add("select.region", "empty region or table", pc.Len(), 0, 0)
+		return Selection{Explain: ex}
+	}
+	if d := pc.EnsureImprints(); d > 0 {
+		ex.Add("imprints.build", "x+y coordinate imprints", pc.Len(), pc.Len(), d)
+	}
+	imX, imY := pc.imprintsXY()
+
+	var cand []colstore.Range
+	start := time.Now()
+	candX := imX.CandidateRanges(env.MinX, env.MaxX)
+	candY := imY.CandidateRanges(env.MinY, env.MaxY)
+	cand = colstore.IntersectRanges(candX, candY)
+	ex.Add("imprints.filter",
+		fmt.Sprintf("bbox %s", env.String()),
+		pc.Len(), colstore.RangesLen(cand), time.Since(start))
+
+	start = time.Now()
+	var rows []int
+	var st grid.Stats
+	if pc.Parallel {
+		rows, st = grid.RefineAuto(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts)
+	} else {
+		rows, st = grid.Refine(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts)
+	}
+	ex.Add("grid.refine",
+		fmt.Sprintf("%dx%d cells, %d boundary", st.GridCellsX, st.GridCellsY, st.BoundaryCells),
+		st.CandidateRows, len(rows), time.Since(start))
+	return Selection{Rows: rows, Explain: ex, Refine: st}
+}
+
+// SelectRegionScan is the no-index baseline: every row refines exhaustively.
+func (pc *PointCloud) SelectRegionScan(region grid.Region) Selection {
+	ex := &Explain{}
+	start := time.Now()
+	rows, st := grid.RefineExhaustive(pc.xs.Values(), pc.ys.Values(),
+		colstore.FullRange(pc.Len()), region)
+	ex.Add("scan.exhaustive", "full table scan + exact test", pc.Len(), len(rows), time.Since(start))
+	return Selection{Rows: rows, Explain: ex, Refine: st}
+}
+
+// SelectRegionImprintsOnly filters with imprints but refines exhaustively
+// (no grid) — the E10 ablation arm isolating the grid's contribution.
+func (pc *PointCloud) SelectRegionImprintsOnly(region grid.Region) Selection {
+	ex := &Explain{}
+	env := region.Envelope()
+	if env.IsEmpty() || pc.Len() == 0 {
+		return Selection{Explain: ex}
+	}
+	pc.EnsureImprints()
+	imX, imY := pc.imprintsXY()
+	start := time.Now()
+	cand := colstore.IntersectRanges(
+		imX.CandidateRanges(env.MinX, env.MaxX),
+		imY.CandidateRanges(env.MinY, env.MaxY),
+	)
+	ex.Add("imprints.filter", env.String(), pc.Len(), colstore.RangesLen(cand), time.Since(start))
+	start = time.Now()
+	rows, st := grid.RefineExhaustive(pc.xs.Values(), pc.ys.Values(), cand, region)
+	ex.Add("refine.exhaustive", "exact test per candidate", st.CandidateRows, len(rows), time.Since(start))
+	return Selection{Rows: rows, Explain: ex, Refine: st}
+}

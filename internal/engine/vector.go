@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gisnav/internal/colstore"
+	"gisnav/internal/geom"
+	"gisnav/internal/rtree"
+)
+
+// VectorTable stores classed vector features (the OSM and Urban Atlas
+// datasets of the demo): a geometry column plus dictionary-encoded thematic
+// attributes, with cached envelopes for cheap spatial prefiltering and a
+// lazily built STR R-tree over them (created on the first spatial query,
+// like the point cloud's imprints).
+type VectorTable struct {
+	ids     *colstore.I64Column
+	classes *colstore.StrColumn
+	names   *colstore.StrColumn
+	geoms   []geom.Geometry
+	envs    []geom.Envelope
+	numeric map[string]*colstore.F64Column
+
+	mu    sync.Mutex
+	index *rtree.Tree
+}
+
+// NewVectorTable returns an empty vector table.
+func NewVectorTable() *VectorTable {
+	return &VectorTable{
+		ids:     &colstore.I64Column{},
+		classes: colstore.NewStrColumn(),
+		names:   colstore.NewStrColumn(),
+		numeric: map[string]*colstore.F64Column{},
+	}
+}
+
+// Append adds one feature. attrs supplies optional numeric attributes
+// (e.g. pop_density); all rows of an attribute column stay aligned by
+// zero-filling columns introduced late.
+func (vt *VectorTable) Append(id int64, class, name string, g geom.Geometry, attrs map[string]float64) {
+	row := vt.Len()
+	vt.ids.Append(id)
+	vt.classes.AppendString(class)
+	vt.names.AppendString(name)
+	vt.geoms = append(vt.geoms, g)
+	vt.envs = append(vt.envs, g.Envelope())
+	for k, v := range attrs {
+		col, ok := vt.numeric[k]
+		if !ok {
+			col = &colstore.F64Column{}
+			vt.numeric[k] = col
+		}
+		for col.Len() < row {
+			col.Append(0)
+		}
+		col.Append(v)
+	}
+	for _, col := range vt.numeric {
+		for col.Len() < row+1 {
+			col.Append(0)
+		}
+	}
+	vt.mu.Lock()
+	vt.index = nil // appended features invalidate the spatial index
+	vt.mu.Unlock()
+}
+
+// ensureIndex builds the envelope R-tree if absent, returning it.
+func (vt *VectorTable) ensureIndex() *rtree.Tree {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	if vt.index == nil {
+		items := make([]rtree.Item, len(vt.envs))
+		for i, env := range vt.envs {
+			items[i] = rtree.Item{Env: env, ID: i}
+		}
+		vt.index = rtree.BuildSTR(items, 0)
+	}
+	return vt.index
+}
+
+// HasSpatialIndex reports whether the R-tree is currently built.
+func (vt *VectorTable) HasSpatialIndex() bool {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	return vt.index != nil
+}
+
+// Len reports the feature count.
+func (vt *VectorTable) Len() int { return len(vt.geoms) }
+
+// ID returns the feature id at row i.
+func (vt *VectorTable) ID(i int) int64 { return vt.ids.Values()[i] }
+
+// Class returns the thematic class at row i.
+func (vt *VectorTable) Class(i int) string { return vt.classes.String(i) }
+
+// Name returns the feature name at row i.
+func (vt *VectorTable) Name(i int) string { return vt.names.String(i) }
+
+// Geometry returns the geometry at row i.
+func (vt *VectorTable) Geometry(i int) geom.Geometry { return vt.geoms[i] }
+
+// Envelope returns the cached envelope at row i.
+func (vt *VectorTable) Envelope(i int) geom.Envelope { return vt.envs[i] }
+
+// Numeric returns the value of a numeric attribute at row i (0 if absent).
+func (vt *VectorTable) Numeric(attr string, i int) float64 {
+	col, ok := vt.numeric[attr]
+	if !ok || i >= col.Len() {
+		return 0
+	}
+	return col.Values()[i]
+}
+
+// NumericAttrs lists the numeric attribute names.
+func (vt *VectorTable) NumericAttrs() []string {
+	out := make([]string, 0, len(vt.numeric))
+	for k := range vt.numeric {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SelectClass returns the rows whose class equals class, resolving the
+// constant through the dictionary once (no string compares per row).
+func (vt *VectorTable) SelectClass(class string, ex *Explain) []int {
+	start := time.Now()
+	var rows []int
+	if code, ok := vt.classes.Code(class); ok {
+		for i, c := range vt.classes.Codes() {
+			if c == code {
+				rows = append(rows, i)
+			}
+		}
+	}
+	ex.Add("filter.class", fmt.Sprintf("class = %q", class), vt.Len(), len(rows), time.Since(start))
+	return rows
+}
+
+// SelectIntersects returns the rows whose geometry intersects g. The STR
+// R-tree over feature envelopes prefilters; survivors get the exact test.
+func (vt *VectorTable) SelectIntersects(g geom.Geometry, ex *Explain) []int {
+	start := time.Now()
+	idx := vt.ensureIndex()
+	env := g.Envelope()
+	candidates := idx.SearchIDs(env)
+	var rows []int
+	for _, i := range candidates {
+		if geom.Intersects(vt.geoms[i], g) {
+			rows = append(rows, i)
+		}
+	}
+	ex.Add("vector.intersects",
+		fmt.Sprintf("rtree pass %d/%d", len(candidates), vt.Len()),
+		vt.Len(), len(rows), time.Since(start))
+	return rows
+}
+
+// FilterNumeric narrows rows by a numeric attribute predicate.
+func (vt *VectorTable) FilterNumeric(rows []int, attr string, pred ColumnPred, ex *Explain) ([]int, error) {
+	col, ok := vt.numeric[attr]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown vector attribute %q", attr)
+	}
+	start := time.Now()
+	in := len(rows)
+	out := rows[:0]
+	vals := col.Values()
+	for _, r := range rows {
+		if pred.Matches(vals[r]) {
+			out = append(out, r)
+		}
+	}
+	ex.Add("filter.numeric", pred.String(), in, len(out), time.Since(start))
+	return out, nil
+}
+
+// CollectGeometries assembles the geometries of a row set into a collection,
+// the shape the spatial-join region constructors consume.
+func (vt *VectorTable) CollectGeometries(rows []int) geom.Collection {
+	c := geom.Collection{Geometries: make([]geom.Geometry, 0, len(rows))}
+	for _, r := range rows {
+		c.Geometries = append(c.Geometries, vt.geoms[r])
+	}
+	return c
+}
+
+// Bytes reports the in-memory footprint of the thematic columns (geometry
+// payloads excluded; they are shared structures).
+func (vt *VectorTable) Bytes() int {
+	n := vt.ids.Bytes() + vt.classes.Bytes() + vt.names.Bytes()
+	for _, col := range vt.numeric {
+		n += col.Bytes()
+	}
+	return n
+}

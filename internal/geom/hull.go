@@ -1,0 +1,58 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of g's vertices as a polygon (Andrew's
+// monotone chain). Degenerate inputs return lower-dimension results wrapped
+// in a polygon-compatible form: fewer than 3 distinct points yield an empty
+// polygon.
+func ConvexHull(g Geometry) Polygon {
+	pts := vertices(g)
+	if len(pts) == 0 {
+		return Polygon{}
+	}
+	// Sort by (x, y) and deduplicate.
+	sorted := append([]Point(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Equals(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 3 {
+		return Polygon{}
+	}
+
+	cross := func(o, a, b Point) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	// Lower hull.
+	var lower []Point
+	for _, p := range uniq {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	// Upper hull.
+	var upper []Point
+	for i := len(uniq) - 1; i >= 0; i-- {
+		p := uniq[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	// Concatenate, dropping the duplicated endpoints.
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		return Polygon{} // collinear input
+	}
+	return Polygon{Shell: Ring{Points: hull}}
+}

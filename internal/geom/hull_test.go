@@ -1,0 +1,90 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquarePlusInterior(t *testing.T) {
+	mp := MultiPoint{Points: []Point{
+		{0, 0}, {10, 0}, {10, 10}, {0, 10}, // corners
+		{5, 5}, {3, 7}, {8, 2}, // interior noise
+	}}
+	h := ConvexHull(mp)
+	if len(h.Shell.Points) != 4 {
+		t.Fatalf("hull has %d vertices, want 4", len(h.Shell.Points))
+	}
+	if h.Area() != 100 {
+		t.Fatalf("hull area = %v", h.Area())
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if !ConvexHull(MultiPoint{}).IsEmpty() {
+		t.Fatal("empty input should yield empty hull")
+	}
+	if !ConvexHull(Point{1, 1}).IsEmpty() {
+		t.Fatal("single point should yield empty hull")
+	}
+	two := MultiPoint{Points: []Point{{0, 0}, {1, 1}}}
+	if !ConvexHull(two).IsEmpty() {
+		t.Fatal("two points should yield empty hull")
+	}
+	collinear := MultiPoint{Points: []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}}
+	if !ConvexHull(collinear).IsEmpty() {
+		t.Fatal("collinear points should yield empty hull")
+	}
+	// Duplicates collapse.
+	dup := MultiPoint{Points: []Point{{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}}}
+	h := ConvexHull(dup)
+	if len(h.Shell.Points) != 3 {
+		t.Fatalf("dup hull vertices = %d", len(h.Shell.Points))
+	}
+}
+
+func TestConvexHullContainsAllInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 50; iter++ {
+		n := rng.Intn(200) + 3
+		mp := MultiPoint{Points: make([]Point, n)}
+		for i := range mp.Points {
+			mp.Points[i] = Point{rng.NormFloat64() * 100, rng.NormFloat64() * 100}
+		}
+		h := ConvexHull(mp)
+		if h.IsEmpty() {
+			continue // all collinear (vanishingly unlikely but legal)
+		}
+		for _, p := range mp.Points {
+			if !PolygonContainsPoint(h, p.X, p.Y) {
+				t.Fatalf("iter %d: hull excludes input point %v", iter, p)
+			}
+		}
+		// Hull vertices are a subset of the inputs.
+		for _, v := range h.Shell.Points {
+			found := false
+			for _, p := range mp.Points {
+				if v.Equals(p) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("hull vertex %v not an input", v)
+			}
+		}
+	}
+}
+
+func TestConvexHullOfLineAndPolygon(t *testing.T) {
+	l := LineString{Points: []Point{{0, 0}, {5, 8}, {10, 0}}}
+	h := ConvexHull(l)
+	if h.IsEmpty() || len(h.Shell.Points) != 3 {
+		t.Fatalf("line hull = %v", h.Shell.Points)
+	}
+	// Hull of a convex polygon is itself (same vertex set).
+	sq := NewEnvelope(0, 0, 4, 4).ToPolygon()
+	h2 := ConvexHull(sq)
+	if h2.Area() != 16 {
+		t.Fatalf("square hull area = %v", h2.Area())
+	}
+}

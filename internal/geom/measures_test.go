@@ -1,0 +1,208 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestCentroidPointForms(t *testing.T) {
+	if c := Centroid(Point{3, 4}); c != (Point{3, 4}) {
+		t.Fatalf("point centroid = %v", c)
+	}
+	mp := MultiPoint{Points: []Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}}}
+	if c := Centroid(mp); c != (Point{1, 1}) {
+		t.Fatalf("multipoint centroid = %v", c)
+	}
+	if !Centroid(MultiPoint{}).IsEmpty() {
+		t.Fatal("empty multipoint centroid should be empty")
+	}
+}
+
+func TestCentroidLine(t *testing.T) {
+	// A straight segment's centroid is its midpoint.
+	l := LineString{Points: []Point{{0, 0}, {10, 0}}}
+	if c := Centroid(l); c != (Point{5, 0}) {
+		t.Fatalf("line centroid = %v", c)
+	}
+	// Length weighting: a long leg pulls the centroid.
+	bent := LineString{Points: []Point{{0, 0}, {10, 0}, {10, 1}}}
+	c := Centroid(bent)
+	if !(c.X > 4.5 && c.Y < 0.2) {
+		t.Fatalf("bent centroid = %v", c)
+	}
+	// Degenerate line (all same point).
+	deg := LineString{Points: []Point{{5, 5}, {5, 5}}}
+	if c := Centroid(deg); c != (Point{5, 5}) {
+		t.Fatalf("degenerate line centroid = %v", c)
+	}
+}
+
+func TestCentroidPolygon(t *testing.T) {
+	sq := NewEnvelope(0, 0, 10, 10).ToPolygon()
+	if c := Centroid(sq); !almostEq(c.X, 5, 1e-9) || !almostEq(c.Y, 5, 1e-9) {
+		t.Fatalf("square centroid = %v", c)
+	}
+	// Orientation independence.
+	cw := Polygon{Shell: Ring{Points: []Point{{0, 0}, {0, 10}, {10, 10}, {10, 0}}}}
+	if c := Centroid(cw); !almostEq(c.X, 5, 1e-9) || !almostEq(c.Y, 5, 1e-9) {
+		t.Fatalf("cw square centroid = %v", c)
+	}
+	// A hole shifts the centroid away from it.
+	holed := Polygon{
+		Shell: Ring{Points: []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}},
+		Holes: []Ring{{Points: []Point{{6, 4}, {9, 4}, {9, 7}, {6, 7}}}},
+	}
+	c := Centroid(holed)
+	if c.X >= 5 {
+		t.Fatalf("hole on the right should pull centroid left: %v", c)
+	}
+	// Degenerate polygon falls back to vertex mean.
+	flat := Polygon{Shell: Ring{Points: []Point{{0, 0}, {10, 0}, {5, 0}}}}
+	if c := Centroid(flat); c.IsEmpty() {
+		t.Fatal("degenerate polygon centroid should fall back, not be empty")
+	}
+}
+
+func TestCentroidMultiPolygonWeighted(t *testing.T) {
+	// A big square and a tiny one: centroid lands near the big square.
+	m := MultiPolygon{Polygons: []Polygon{
+		NewEnvelope(0, 0, 10, 10).ToPolygon(),
+		NewEnvelope(100, 100, 101, 101).ToPolygon(),
+	}}
+	c := Centroid(m)
+	if c.X > 10 {
+		t.Fatalf("small polygon dominated: %v", c)
+	}
+}
+
+func TestCentroidCollectionDimensionPriority(t *testing.T) {
+	col := Collection{Geometries: []Geometry{
+		Point{100, 100},
+		LineString{Points: []Point{{50, 50}, {60, 50}}},
+		NewEnvelope(0, 0, 10, 10).ToPolygon(),
+	}}
+	c := Centroid(col)
+	// The polygon (highest dimension) decides.
+	if !almostEq(c.X, 5, 1e-9) || !almostEq(c.Y, 5, 1e-9) {
+		t.Fatalf("collection centroid = %v", c)
+	}
+	linesOnly := Collection{Geometries: []Geometry{
+		LineString{Points: []Point{{0, 0}, {10, 0}}},
+	}}
+	if c := Centroid(linesOnly); c != (Point{5, 0}) {
+		t.Fatalf("line collection centroid = %v", c)
+	}
+	if !Centroid(Collection{}).IsEmpty() {
+		t.Fatal("empty collection centroid should be empty")
+	}
+}
+
+func TestLengthAndArea(t *testing.T) {
+	l := LineString{Points: []Point{{0, 0}, {3, 4}}}
+	if Length(l) != 5 {
+		t.Fatal("line length wrong")
+	}
+	sq := NewEnvelope(0, 0, 10, 10).ToPolygon()
+	if Length(sq) != 40 {
+		t.Fatalf("perimeter = %v", Length(sq))
+	}
+	if Area(sq) != 100 {
+		t.Fatalf("area = %v", Area(sq))
+	}
+	if Length(Point{1, 1}) != 0 || Area(Point{1, 1}) != 0 {
+		t.Fatal("point measures should be zero")
+	}
+	col := Collection{Geometries: []Geometry{l, sq}}
+	if Length(col) != 45 || Area(col) != 100 {
+		t.Fatal("collection measures wrong")
+	}
+	holed := Polygon{
+		Shell: Ring{Points: []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}},
+		Holes: []Ring{{Points: []Point{{2, 2}, {4, 2}, {4, 4}, {2, 4}}}},
+	}
+	if Length(holed) != 48 {
+		t.Fatalf("holed perimeter = %v", Length(holed))
+	}
+	mp := MultiPolygon{Polygons: []Polygon{sq, sq}}
+	if Area(mp) != 200 || Length(mp) != 80 {
+		t.Fatal("multipolygon measures wrong")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	// Points on a line with tiny zigzag collapse to the endpoints.
+	var pts []Point
+	for i := 0; i <= 100; i++ {
+		y := 0.0
+		if i%2 == 1 {
+			y = 0.01
+		}
+		pts = append(pts, Point{float64(i), y})
+	}
+	l := LineString{Points: pts}
+	s := Simplify(l, 0.1)
+	if len(s.Points) != 2 {
+		t.Fatalf("zigzag should collapse to 2 points, got %d", len(s.Points))
+	}
+	// A sharp corner survives.
+	corner := LineString{Points: []Point{{0, 0}, {50, 0}, {50, 50}}}
+	s2 := Simplify(corner, 1)
+	if len(s2.Points) != 3 {
+		t.Fatalf("corner lost: %d points", len(s2.Points))
+	}
+	// Tolerance 0 and short lines are returned unchanged.
+	if got := Simplify(l, 0); len(got.Points) != len(l.Points) {
+		t.Fatal("tol=0 should be identity")
+	}
+	short := LineString{Points: []Point{{0, 0}, {1, 1}}}
+	if got := Simplify(short, 5); len(got.Points) != 2 {
+		t.Fatal("short line should be identity")
+	}
+	// Simplified line deviates at most tol from the original vertices.
+	rng := rand.New(rand.NewSource(3))
+	var wpts []Point
+	x := 0.0
+	y := 0.0
+	for i := 0; i < 200; i++ {
+		x += rng.Float64() * 5
+		y += rng.NormFloat64() * 3
+		wpts = append(wpts, Point{x, y})
+	}
+	walk := LineString{Points: wpts}
+	const tol = 10.0
+	sw := Simplify(walk, tol)
+	if len(sw.Points) >= len(walk.Points) {
+		t.Fatal("random walk should simplify")
+	}
+	for _, p := range walk.Points {
+		if d := DistancePointToGeometry(p.X, p.Y, sw); d > tol+1e-9 {
+			t.Fatalf("vertex deviates %v > tol", d)
+		}
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	l := LineString{Points: []Point{{0, 0}, {10, 0}, {10, 10}}}
+	if p := Interpolate(l, 0); p != (Point{0, 0}) {
+		t.Fatalf("t=0: %v", p)
+	}
+	if p := Interpolate(l, 1); p != (Point{10, 10}) {
+		t.Fatalf("t=1: %v", p)
+	}
+	if p := Interpolate(l, 0.5); p != (Point{10, 0}) {
+		t.Fatalf("t=0.5: %v", p)
+	}
+	if p := Interpolate(l, 0.25); p != (Point{5, 0}) {
+		t.Fatalf("t=0.25: %v", p)
+	}
+	if !Interpolate(LineString{}, 0.5).IsEmpty() {
+		t.Fatal("empty line interpolation should be empty")
+	}
+	single := LineString{Points: []Point{{7, 7}}}
+	if p := Interpolate(single, 0.9); p != (Point{7, 7}) {
+		t.Fatal("single point line")
+	}
+}

@@ -1,0 +1,367 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare() Polygon {
+	return Polygon{Shell: Ring{Points: []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}}}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, c, d Point
+		want       bool
+	}{
+		{Point{0, 0}, Point{10, 10}, Point{0, 10}, Point{10, 0}, true}, // X crossing
+		{Point{0, 0}, Point{1, 1}, Point{2, 2}, Point{3, 3}, false},    // collinear disjoint
+		{Point{0, 0}, Point{2, 2}, Point{1, 1}, Point{3, 3}, true},     // collinear overlap
+		{Point{0, 0}, Point{1, 0}, Point{1, 0}, Point{2, 5}, true},     // shared endpoint
+		{Point{0, 0}, Point{1, 0}, Point{0, 1}, Point{1, 1}, false},    // parallel
+		{Point{0, 0}, Point{4, 0}, Point{2, 0}, Point{2, 3}, true},     // T junction
+		{Point{0, 0}, Point{4, 0}, Point{2, 0.1}, Point{2, 3}, false},  // near miss
+		{Point{0, 0}, Point{0, 0}, Point{0, 0}, Point{0, 0}, true},     // degenerate same point
+		{Point{0, 0}, Point{0, 0}, Point{1, 1}, Point{2, 2}, false},    // degenerate apart
+		{Point{-1, -1}, Point{1, 1}, Point{0, 0}, Point{0, 0}, true},   // point on segment
+		{Point{5, 5}, Point{5, 9}, Point{5, 9}, Point{5, 12}, true},    // vertical chain
+		{Point{5, 5}, Point{5, 8}, Point{5, 8.1}, Point{5, 12}, false}, // vertical gap
+	}
+	for i, c := range cases {
+		if got := SegmentsIntersect(c.a, c.b, c.c, c.d); got != c.want {
+			t.Errorf("case %d: SegmentsIntersect = %v, want %v", i, got, c.want)
+		}
+		// Symmetry.
+		if got := SegmentsIntersect(c.c, c.d, c.a, c.b); got != c.want {
+			t.Errorf("case %d: symmetric SegmentsIntersect = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	sq := unitSquare()
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{5, 5, true},
+		{0, 0, true},  // corner: boundary inclusive
+		{10, 5, true}, // edge
+		{10.1, 5, false},
+		{-1, -1, false},
+		{5, 10, true},
+		{5, 10.0001, false},
+	}
+	for i, c := range cases {
+		if got := PolygonContainsPoint(sq, c.x, c.y); got != c.want {
+			t.Errorf("case %d (%v,%v): got %v, want %v", i, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestPolygonWithHoleContains(t *testing.T) {
+	p := Polygon{
+		Shell: Ring{Points: []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}},
+		Holes: []Ring{{Points: []Point{{3, 3}, {7, 3}, {7, 7}, {3, 7}}}},
+	}
+	if PolygonContainsPoint(p, 5, 5) {
+		t.Fatal("point in hole should be excluded")
+	}
+	if !PolygonContainsPoint(p, 1, 1) {
+		t.Fatal("point in solid part should be included")
+	}
+	// Hole boundary belongs to the polygon.
+	if !PolygonContainsPoint(p, 3, 5) {
+		t.Fatal("hole rim belongs to polygon")
+	}
+}
+
+func TestConcavePolygonContains(t *testing.T) {
+	// A "U" shape.
+	u := Polygon{Shell: Ring{Points: []Point{
+		{0, 0}, {9, 0}, {9, 9}, {6, 9}, {6, 3}, {3, 3}, {3, 9}, {0, 9},
+	}}}
+	if PolygonContainsPoint(u, 4.5, 6) {
+		t.Fatal("notch interior should be outside")
+	}
+	if !PolygonContainsPoint(u, 1, 8) || !PolygonContainsPoint(u, 8, 8) {
+		t.Fatal("arms should be inside")
+	}
+	if !PolygonContainsPoint(u, 4.5, 1) {
+		t.Fatal("base should be inside")
+	}
+}
+
+func TestContainsPointDispatch(t *testing.T) {
+	if !ContainsPoint(Point{1, 2}, 1, 2) || ContainsPoint(Point{1, 2}, 1, 3) {
+		t.Fatal("point self-containment wrong")
+	}
+	mp := MultiPoint{Points: []Point{{1, 1}, {2, 2}}}
+	if !ContainsPoint(mp, 2, 2) || ContainsPoint(mp, 3, 3) {
+		t.Fatal("multipoint containment wrong")
+	}
+	l := LineString{Points: []Point{{0, 0}, {10, 0}}}
+	if !ContainsPoint(l, 5, 0) || ContainsPoint(l, 5, 0.01) {
+		t.Fatal("line containment wrong")
+	}
+	ml := MultiLineString{Lines: []LineString{l}}
+	if !ContainsPoint(ml, 5, 0) {
+		t.Fatal("multiline containment wrong")
+	}
+	mpoly := MultiPolygon{Polygons: []Polygon{unitSquare()}}
+	if !ContainsPoint(mpoly, 5, 5) || ContainsPoint(mpoly, 50, 50) {
+		t.Fatal("multipolygon containment wrong")
+	}
+	col := Collection{Geometries: []Geometry{Point{7, 7}, unitSquare()}}
+	if !ContainsPoint(col, 7, 7) || !ContainsPoint(col, 1, 1) || ContainsPoint(col, 99, 99) {
+		t.Fatal("collection containment wrong")
+	}
+}
+
+func TestClassifyBoxPolygon(t *testing.T) {
+	sq := unitSquare()
+	cases := []struct {
+		e    Envelope
+		want BoxRelation
+	}{
+		{NewEnvelope(2, 2, 4, 4), BoxInside},
+		{NewEnvelope(20, 20, 30, 30), BoxOutside},
+		{NewEnvelope(-2, -2, 2, 2), BoxBoundary},   // straddles a corner
+		{NewEnvelope(8, 2, 12, 4), BoxBoundary},    // straddles an edge
+		{NewEnvelope(-5, -5, 15, 15), BoxBoundary}, // box swallows polygon
+		{EmptyEnvelope(), BoxOutside},
+	}
+	for i, c := range cases {
+		if got := ClassifyBoxPolygon(sq, c.e); got != c.want {
+			t.Errorf("case %d: ClassifyBoxPolygon(%v) = %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestClassifyBoxPolygonWithHole(t *testing.T) {
+	p := Polygon{
+		Shell: Ring{Points: []Point{{0, 0}, {20, 0}, {20, 20}, {0, 20}}},
+		Holes: []Ring{{Points: []Point{{8, 8}, {12, 8}, {12, 12}, {8, 12}}}},
+	}
+	// Box entirely within the hole: outside the polygon.
+	if got := ClassifyBoxPolygon(p, NewEnvelope(9, 9, 11, 11)); got != BoxOutside {
+		t.Fatalf("box in hole = %v, want outside", got)
+	}
+	// Box crossing the hole rim: boundary.
+	if got := ClassifyBoxPolygon(p, NewEnvelope(7, 9, 9, 11)); got != BoxBoundary {
+		t.Fatalf("box on hole rim = %v, want boundary", got)
+	}
+	// Box in solid area: inside.
+	if got := ClassifyBoxPolygon(p, NewEnvelope(1, 1, 3, 3)); got != BoxInside {
+		t.Fatalf("solid box = %v, want inside", got)
+	}
+}
+
+func TestClassifyBoxOtherGeometries(t *testing.T) {
+	e := NewEnvelope(0, 0, 10, 10)
+	if got := ClassifyBox(Point{5, 5}, e); got != BoxBoundary {
+		t.Fatalf("point in box = %v", got)
+	}
+	if got := ClassifyBox(Point{50, 5}, e); got != BoxOutside {
+		t.Fatalf("far point = %v", got)
+	}
+	l := LineString{Points: []Point{{-5, 5}, {15, 5}}}
+	if got := ClassifyBox(l, e); got != BoxBoundary {
+		t.Fatalf("crossing line = %v", got)
+	}
+	if got := ClassifyBox(MultiPoint{Points: []Point{{1, 1}}}, e); got != BoxBoundary {
+		t.Fatalf("multipoint = %v", got)
+	}
+	if got := ClassifyBox(MultiLineString{Lines: []LineString{l}}, e); got != BoxBoundary {
+		t.Fatalf("multiline = %v", got)
+	}
+	col := Collection{Geometries: []Geometry{unitSquare()}}
+	if got := ClassifyBox(col, NewEnvelope(2, 2, 3, 3)); got != BoxInside {
+		t.Fatalf("collection inside = %v", got)
+	}
+}
+
+func TestBoxRelationString(t *testing.T) {
+	if BoxOutside.String() != "outside" || BoxInside.String() != "inside" || BoxBoundary.String() != "boundary" {
+		t.Fatal("BoxRelation.String wrong")
+	}
+}
+
+func TestIntersectsPairs(t *testing.T) {
+	sq := unitSquare()
+	shifted := Polygon{Shell: Ring{Points: []Point{{5, 5}, {15, 5}, {15, 15}, {5, 15}}}}
+	far := Polygon{Shell: Ring{Points: []Point{{100, 100}, {110, 100}, {110, 110}, {100, 110}}}}
+	line := LineString{Points: []Point{{-5, 5}, {15, 5}}}
+	cases := []struct {
+		a, b Geometry
+		want bool
+	}{
+		{sq, shifted, true},
+		{sq, far, false},
+		{sq, Point{5, 5}, true},
+		{Point{5, 5}, sq, true},
+		{sq, line, true},
+		{line, sq, true},
+		{line, LineString{Points: []Point{{0, -5}, {0, 15}}}, true},
+		{line, LineString{Points: []Point{{0, 50}, {1, 50}}}, false},
+		{MultiPoint{Points: []Point{{5, 5}}}, sq, true},
+		{MultiPolygon{Polygons: []Polygon{far, sq}}, shifted, true},
+		{MultiLineString{Lines: []LineString{line}}, sq, true},
+		{Collection{Geometries: []Geometry{Point{5, 5}}}, sq, true},
+		{sq, Collection{Geometries: []Geometry{Point{5, 5}}}, true},
+		// Polygon containing another without boundary crossing.
+		{sq, Polygon{Shell: Ring{Points: []Point{{4, 4}, {6, 4}, {6, 6}, {4, 6}}}}, true},
+	}
+	for i, c := range cases {
+		if got := Intersects(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := Intersects(c.b, c.a); got != c.want {
+			t.Errorf("case %d: symmetric Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDistances(t *testing.T) {
+	sq := unitSquare()
+	if d := DistancePointToGeometry(5, 5, sq); d != 0 {
+		t.Fatalf("inside distance = %v", d)
+	}
+	if d := DistancePointToGeometry(13, 14, sq); d != 5 {
+		t.Fatalf("corner distance = %v, want 5", d)
+	}
+	l := LineString{Points: []Point{{0, 0}, {10, 0}}}
+	if d := DistancePointToGeometry(5, 3, l); d != 3 {
+		t.Fatalf("line distance = %v, want 3", d)
+	}
+	if d := DistancePointToGeometry(-3, -4, l); d != 5 {
+		t.Fatalf("endpoint distance = %v, want 5", d)
+	}
+	if d := DistancePointToGeometry(1, 1, Point{4, 5}); d != 5 {
+		t.Fatalf("point distance = %v, want 5", d)
+	}
+	mp := MultiPoint{Points: []Point{{100, 0}, {4, 5}}}
+	if d := DistancePointToGeometry(1, 1, mp); d != 5 {
+		t.Fatalf("multipoint distance = %v, want 5", d)
+	}
+}
+
+func TestDWithin(t *testing.T) {
+	road := LineString{Points: []Point{{0, 0}, {100, 0}}}
+	if !DWithin(50, 10, road, 10) {
+		t.Fatal("point at exactly d should match")
+	}
+	if DWithin(50, 10.5, road, 10) {
+		t.Fatal("point beyond d should not match")
+	}
+	if DWithin(500, 0, road, 10) {
+		t.Fatal("far point should fail envelope prefilter")
+	}
+}
+
+func TestGeometryDistance(t *testing.T) {
+	a := unitSquare()
+	b := Polygon{Shell: Ring{Points: []Point{{20, 0}, {30, 0}, {30, 10}, {20, 10}}}}
+	if d := GeometryDistance(a, b); d != 10 {
+		t.Fatalf("polygon gap = %v, want 10", d)
+	}
+	if d := GeometryDistance(a, a); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	l1 := LineString{Points: []Point{{0, 0}, {0, 10}}}
+	l2 := LineString{Points: []Point{{3, 0}, {3, 10}}}
+	if d := GeometryDistance(l1, l2); d != 3 {
+		t.Fatalf("parallel lines = %v, want 3", d)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// Property: a point reported inside a convex polygon must be inside the
+// polygon's envelope, and ClassifyBoxPolygon must agree with per-point tests.
+func TestQuickContainmentConsistentWithEnvelope(t *testing.T) {
+	sq := unitSquare()
+	f := func(x, y float64) bool {
+		x = math.Mod(math.Abs(x), 30) - 10
+		y = math.Mod(math.Abs(y), 30) - 10
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		in := PolygonContainsPoint(sq, x, y)
+		if in && !sq.Envelope().ContainsPoint(x, y) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: box classification is sound — for a randomly placed box, if the
+// box is classified BoxInside every random point in it is contained in the
+// polygon; if BoxOutside, no point in it is contained.
+func TestQuickClassifyBoxSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	poly := Polygon{Shell: Ring{Points: []Point{
+		{0, 0}, {20, 5}, {25, 20}, {10, 28}, {-5, 15},
+	}}}
+	for iter := 0; iter < 500; iter++ {
+		cx := rng.Float64()*50 - 15
+		cy := rng.Float64()*50 - 15
+		w := rng.Float64() * 8
+		h := rng.Float64() * 8
+		box := NewEnvelope(cx, cy, cx+w, cy+h)
+		rel := ClassifyBoxPolygon(poly, box)
+		for k := 0; k < 20; k++ {
+			px := box.MinX + rng.Float64()*box.Width()
+			py := box.MinY + rng.Float64()*box.Height()
+			in := PolygonContainsPoint(poly, px, py)
+			switch rel {
+			case BoxInside:
+				if !in {
+					t.Fatalf("iter %d: box %v classified inside but point (%v,%v) outside", iter, box, px, py)
+				}
+			case BoxOutside:
+				if in {
+					t.Fatalf("iter %d: box %v classified outside but point (%v,%v) inside", iter, box, px, py)
+				}
+			}
+		}
+	}
+}
+
+// Property: DWithin(x,y,g,d) == (DistancePointToGeometry(x,y,g) <= d).
+func TestQuickDWithinMatchesDistance(t *testing.T) {
+	road := LineString{Points: []Point{{0, 0}, {40, 10}, {80, -5}, {120, 30}}}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64()*200 - 40
+		y := rng.Float64()*120 - 60
+		d := rng.Float64() * 30
+		want := DistancePointToGeometry(x, y, road) <= d
+		if got := DWithin(x, y, road, d); got != want {
+			t.Fatalf("DWithin(%v,%v,%v) = %v, distance says %v", x, y, d, got, want)
+		}
+	}
+}
+
+// Property: ring containment is invariant under vertex rotation of the ring.
+func TestQuickRingRotationInvariance(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 2}, {14, 9}, {6, 14}, {-2, 8}}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		x := rng.Float64()*24 - 5
+		y := rng.Float64()*20 - 3
+		base := PolygonContainsPoint(Polygon{Shell: Ring{Points: pts}}, x, y)
+		for rot := 1; rot < len(pts); rot++ {
+			rotated := append(append([]Point(nil), pts[rot:]...), pts[:rot]...)
+			got := PolygonContainsPoint(Polygon{Shell: Ring{Points: rotated}}, x, y)
+			if got != base {
+				t.Fatalf("rotation %d changed containment of (%v,%v): %v vs %v", rot, x, y, got, base)
+			}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package geom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Well-Known Binary codec (OGC Simple Features Part 2, the standard the
+// paper's SQL interface implements — reference [9]). Encoding always emits
+// little-endian (NDR); decoding accepts both byte orders, including mixed
+// orders inside nested geometries.
+
+// WKB geometry type codes.
+const (
+	wkbPoint              = 1
+	wkbLineString         = 2
+	wkbPolygon            = 3
+	wkbMultiPoint         = 4
+	wkbMultiLineString    = 5
+	wkbMultiPolygon       = 6
+	wkbGeometryCollection = 7
+)
+
+// MarshalWKB encodes g as little-endian WKB.
+func MarshalWKB(g Geometry) []byte {
+	var buf []byte
+	return appendWKB(buf, g)
+}
+
+func appendWKB(buf []byte, g Geometry) []byte {
+	buf = append(buf, 1) // NDR
+	switch t := g.(type) {
+	case Point:
+		buf = appendU32(buf, wkbPoint)
+		buf = appendPointCoords(buf, t)
+	case LineString:
+		buf = appendU32(buf, wkbLineString)
+		buf = appendPointSeq(buf, t.Points)
+	case Polygon:
+		buf = appendU32(buf, wkbPolygon)
+		buf = appendPolygonBody(buf, t)
+	case MultiPoint:
+		buf = appendU32(buf, wkbMultiPoint)
+		buf = appendU32(buf, uint32(len(t.Points)))
+		for _, p := range t.Points {
+			buf = appendWKB(buf, p)
+		}
+	case MultiLineString:
+		buf = appendU32(buf, wkbMultiLineString)
+		buf = appendU32(buf, uint32(len(t.Lines)))
+		for _, l := range t.Lines {
+			buf = appendWKB(buf, l)
+		}
+	case MultiPolygon:
+		buf = appendU32(buf, wkbMultiPolygon)
+		buf = appendU32(buf, uint32(len(t.Polygons)))
+		for _, p := range t.Polygons {
+			buf = appendWKB(buf, p)
+		}
+	case Collection:
+		buf = appendU32(buf, wkbGeometryCollection)
+		buf = appendU32(buf, uint32(len(t.Geometries)))
+		for _, sub := range t.Geometries {
+			buf = appendWKB(buf, sub)
+		}
+	default:
+		// The Geometry interface is sealed within this package in practice;
+		// encode unknown implementations as empty collections.
+		buf = appendU32(buf, wkbGeometryCollection)
+		buf = appendU32(buf, 0)
+	}
+	return buf
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(buf, b[:]...)
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(buf, b[:]...)
+}
+
+func appendPointCoords(buf []byte, p Point) []byte {
+	buf = appendF64(buf, p.X)
+	return appendF64(buf, p.Y)
+}
+
+func appendPointSeq(buf []byte, pts []Point) []byte {
+	buf = appendU32(buf, uint32(len(pts)))
+	for _, p := range pts {
+		buf = appendPointCoords(buf, p)
+	}
+	return buf
+}
+
+func appendPolygonBody(buf []byte, p Polygon) []byte {
+	rings := make([]Ring, 0, 1+len(p.Holes))
+	if len(p.Shell.Points) > 0 {
+		rings = append(rings, p.Shell)
+	}
+	rings = append(rings, p.Holes...)
+	buf = appendU32(buf, uint32(len(rings)))
+	for _, r := range rings {
+		buf = appendPointSeq(buf, r.closedPoints())
+	}
+	return buf
+}
+
+// wkbReader walks a WKB byte stream.
+type wkbReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *wkbReader) errf(format string, args ...any) error {
+	return fmt.Errorf("wkb: %s at offset %d", fmt.Sprintf(format, args...), r.pos)
+}
+
+func (r *wkbReader) byteOrder() (binary.ByteOrder, error) {
+	if r.pos >= len(r.buf) {
+		return nil, r.errf("truncated byte order")
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	switch b {
+	case 0:
+		return binary.BigEndian, nil
+	case 1:
+		return binary.LittleEndian, nil
+	default:
+		return nil, r.errf("bad byte order %d", b)
+	}
+}
+
+func (r *wkbReader) u32(bo binary.ByteOrder) (uint32, error) {
+	if r.pos+4 > len(r.buf) {
+		return 0, r.errf("truncated uint32")
+	}
+	v := bo.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *wkbReader) f64(bo binary.ByteOrder) (float64, error) {
+	if r.pos+8 > len(r.buf) {
+		return 0, r.errf("truncated float64")
+	}
+	v := math.Float64frombits(bo.Uint64(r.buf[r.pos:]))
+	r.pos += 8
+	return v, nil
+}
+
+func (r *wkbReader) pointSeq(bo binary.ByteOrder) ([]Point, error) {
+	n, err := r.u32(bo)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > (len(r.buf)-r.pos)/16 {
+		return nil, r.errf("point count %d exceeds remaining payload", n)
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		if pts[i].X, err = r.f64(bo); err != nil {
+			return nil, err
+		}
+		if pts[i].Y, err = r.f64(bo); err != nil {
+			return nil, err
+		}
+	}
+	return pts, nil
+}
+
+// UnmarshalWKB decodes one WKB geometry.
+func UnmarshalWKB(buf []byte) (Geometry, error) {
+	r := &wkbReader{buf: buf}
+	g, err := r.geometry()
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(buf) {
+		return nil, r.errf("trailing %d bytes", len(buf)-r.pos)
+	}
+	return g, nil
+}
+
+func (r *wkbReader) geometry() (Geometry, error) {
+	bo, err := r.byteOrder()
+	if err != nil {
+		return nil, err
+	}
+	typ, err := r.u32(bo)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wkbPoint:
+		x, err := r.f64(bo)
+		if err != nil {
+			return nil, err
+		}
+		y, err := r.f64(bo)
+		if err != nil {
+			return nil, err
+		}
+		return Point{X: x, Y: y}, nil
+	case wkbLineString:
+		pts, err := r.pointSeq(bo)
+		if err != nil {
+			return nil, err
+		}
+		return LineString{Points: pts}, nil
+	case wkbPolygon:
+		nRings, err := r.u32(bo)
+		if err != nil {
+			return nil, err
+		}
+		var p Polygon
+		for i := uint32(0); i < nRings; i++ {
+			pts, err := r.pointSeq(bo)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				p.Shell = Ring{Points: pts}
+			} else {
+				p.Holes = append(p.Holes, Ring{Points: pts})
+			}
+		}
+		return p, nil
+	case wkbMultiPoint:
+		n, err := r.u32(bo)
+		if err != nil {
+			return nil, err
+		}
+		mp := MultiPoint{}
+		for i := uint32(0); i < n; i++ {
+			sub, err := r.geometry()
+			if err != nil {
+				return nil, err
+			}
+			p, ok := sub.(Point)
+			if !ok {
+				return nil, r.errf("multipoint member %d is %T", i, sub)
+			}
+			mp.Points = append(mp.Points, p)
+		}
+		return mp, nil
+	case wkbMultiLineString:
+		n, err := r.u32(bo)
+		if err != nil {
+			return nil, err
+		}
+		ml := MultiLineString{}
+		for i := uint32(0); i < n; i++ {
+			sub, err := r.geometry()
+			if err != nil {
+				return nil, err
+			}
+			l, ok := sub.(LineString)
+			if !ok {
+				return nil, r.errf("multilinestring member %d is %T", i, sub)
+			}
+			ml.Lines = append(ml.Lines, l)
+		}
+		return ml, nil
+	case wkbMultiPolygon:
+		n, err := r.u32(bo)
+		if err != nil {
+			return nil, err
+		}
+		mp := MultiPolygon{}
+		for i := uint32(0); i < n; i++ {
+			sub, err := r.geometry()
+			if err != nil {
+				return nil, err
+			}
+			p, ok := sub.(Polygon)
+			if !ok {
+				return nil, r.errf("multipolygon member %d is %T", i, sub)
+			}
+			mp.Polygons = append(mp.Polygons, p)
+		}
+		return mp, nil
+	case wkbGeometryCollection:
+		n, err := r.u32(bo)
+		if err != nil {
+			return nil, err
+		}
+		c := Collection{}
+		for i := uint32(0); i < n; i++ {
+			sub, err := r.geometry()
+			if err != nil {
+				return nil, err
+			}
+			c.Geometries = append(c.Geometries, sub)
+		}
+		return c, nil
+	default:
+		return nil, r.errf("unknown geometry type %d", typ)
+	}
+}

@@ -1,0 +1,182 @@
+package geom
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// wkbRoundTrip encodes and decodes g, failing on mismatch of WKT forms
+// (which canonicalises ring closure).
+func wkbRoundTrip(t *testing.T, g Geometry) Geometry {
+	t.Helper()
+	buf := MarshalWKB(g)
+	got, err := UnmarshalWKB(buf)
+	if err != nil {
+		t.Fatalf("unmarshal %s: %v", g.WKT(), err)
+	}
+	if got.WKT() != g.WKT() && !(g.IsEmpty() && got.IsEmpty()) {
+		// Polygons canonicalise to closed rings in both codecs, so WKT
+		// equality is the right comparison.
+		t.Fatalf("roundtrip %s != %s", got.WKT(), g.WKT())
+	}
+	return got
+}
+
+func TestWKBAllTypes(t *testing.T) {
+	poly := Polygon{
+		Shell: Ring{Points: []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}}},
+		Holes: []Ring{{Points: []Point{{2, 2}, {4, 2}, {4, 4}, {2, 4}, {2, 2}}}},
+	}
+	cases := []Geometry{
+		Point{1.5, -2.5},
+		LineString{Points: []Point{{0, 0}, {3, 4}, {5, -1}}},
+		poly,
+		MultiPoint{Points: []Point{{1, 2}, {3, 4}}},
+		MultiLineString{Lines: []LineString{
+			{Points: []Point{{0, 0}, {1, 1}}},
+			{Points: []Point{{2, 2}, {3, 3}, {4, 4}}},
+		}},
+		MultiPolygon{Polygons: []Polygon{poly, {Shell: Ring{Points: []Point{{20, 20}, {30, 20}, {25, 30}, {20, 20}}}}}},
+		Collection{Geometries: []Geometry{Point{9, 9}, LineString{Points: []Point{{0, 0}, {1, 0}}}}},
+	}
+	for _, g := range cases {
+		wkbRoundTrip(t, g)
+	}
+}
+
+func TestWKBEmptyGeometries(t *testing.T) {
+	for _, g := range []Geometry{
+		LineString{}, Polygon{}, MultiPoint{}, MultiLineString{}, MultiPolygon{}, Collection{},
+	} {
+		got := wkbRoundTrip(t, g)
+		if !got.IsEmpty() {
+			t.Fatalf("%T should round-trip empty", g)
+		}
+	}
+}
+
+func TestWKBBigEndianDecode(t *testing.T) {
+	// Hand-build a big-endian point.
+	var buf bytes.Buffer
+	buf.WriteByte(0) // XDR
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], wkbPoint)
+	buf.Write(b4[:])
+	var b8 [8]byte
+	binary.BigEndian.PutUint64(b8[:], math.Float64bits(3.5))
+	buf.Write(b8[:])
+	binary.BigEndian.PutUint64(b8[:], math.Float64bits(-7.25))
+	buf.Write(b8[:])
+	g, err := UnmarshalWKB(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.(Point) != (Point{3.5, -7.25}) {
+		t.Fatalf("decoded %v", g)
+	}
+}
+
+func TestWKBErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{5},                                   // bad byte order
+		{1},                                   // truncated type
+		{1, 1, 0, 0, 0},                       // point with no coords
+		{1, 99, 0, 0, 0},                      // unknown type
+		append(MarshalWKB(Point{1, 2}), 0xFF), // trailing byte
+	}
+	for i, b := range bad {
+		if _, err := UnmarshalWKB(b); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Absurd declared point count must be rejected before allocation.
+	var buf bytes.Buffer
+	buf.WriteByte(1)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], wkbLineString)
+	buf.Write(b4[:])
+	binary.LittleEndian.PutUint32(b4[:], 0xFFFFFFFF)
+	buf.Write(b4[:])
+	if _, err := UnmarshalWKB(buf.Bytes()); err == nil {
+		t.Fatal("huge count should fail")
+	}
+	// Wrong member type inside a multi-geometry.
+	var mp bytes.Buffer
+	mp.WriteByte(1)
+	binary.LittleEndian.PutUint32(b4[:], wkbMultiPoint)
+	mp.Write(b4[:])
+	binary.LittleEndian.PutUint32(b4[:], 1)
+	mp.Write(b4[:])
+	mp.Write(MarshalWKB(LineString{Points: []Point{{0, 0}, {1, 1}}}))
+	if _, err := UnmarshalWKB(mp.Bytes()); err == nil {
+		t.Fatal("line inside multipoint should fail")
+	}
+}
+
+// Property: WKB round-trips arbitrary finite line strings exactly.
+func TestQuickWKBLineRoundTrip(t *testing.T) {
+	f := func(coords []float64) bool {
+		var pts []Point
+		for i := 0; i+1 < len(coords); i += 2 {
+			x, y := coords[i], coords[i+1]
+			if x != x || y != y {
+				return true
+			}
+			pts = append(pts, Point{x, y})
+		}
+		l := LineString{Points: pts}
+		got, err := UnmarshalWKB(MarshalWKB(l))
+		if err != nil {
+			return false
+		}
+		l2, ok := got.(LineString)
+		if !ok || len(l2.Points) != len(pts) {
+			return false
+		}
+		for i := range pts {
+			if math.Float64bits(pts[i].X) != math.Float64bits(l2.Points[i].X) ||
+				math.Float64bits(pts[i].Y) != math.Float64bits(l2.Points[i].Y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WKB and WKT agree — parsing the WKT of a geometry and decoding
+// its WKB produce the same WKT rendering.
+func TestQuickWKBWKTAgreement(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n < 3 {
+			return true
+		}
+		var pts []Point
+		for i := 0; i < n; i++ {
+			pts = append(pts, Point{float64(xs[i]), float64(ys[i])})
+		}
+		p := Polygon{Shell: Ring{Points: pts}}
+		viaWKB, err := UnmarshalWKB(MarshalWKB(p))
+		if err != nil {
+			return false
+		}
+		viaWKT, err := ParseWKT(p.WKT())
+		if err != nil {
+			return false
+		}
+		return viaWKB.WKT() == viaWKT.WKT()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

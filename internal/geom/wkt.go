@@ -1,0 +1,476 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// WKT rendering. Coordinates print with strconv.FormatFloat 'g' which
+// round-trips float64 exactly at precision -1.
+
+func fmtCoord(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writePoints(sb *strings.Builder, pts []Point) {
+	sb.WriteByte('(')
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(fmtCoord(p.X))
+		sb.WriteByte(' ')
+		sb.WriteString(fmtCoord(p.Y))
+	}
+	sb.WriteByte(')')
+}
+
+// WKT implements Geometry.
+func (p Point) WKT() string {
+	if p.IsEmpty() {
+		return "POINT EMPTY"
+	}
+	return fmt.Sprintf("POINT (%s %s)", fmtCoord(p.X), fmtCoord(p.Y))
+}
+
+// WKT implements Geometry.
+func (m MultiPoint) WKT() string {
+	if m.IsEmpty() {
+		return "MULTIPOINT EMPTY"
+	}
+	var sb strings.Builder
+	sb.WriteString("MULTIPOINT ")
+	writePoints(&sb, m.Points)
+	return sb.String()
+}
+
+// WKT implements Geometry.
+func (l LineString) WKT() string {
+	if l.IsEmpty() {
+		return "LINESTRING EMPTY"
+	}
+	var sb strings.Builder
+	sb.WriteString("LINESTRING ")
+	writePoints(&sb, l.Points)
+	return sb.String()
+}
+
+// WKT implements Geometry.
+func (m MultiLineString) WKT() string {
+	if m.IsEmpty() {
+		return "MULTILINESTRING EMPTY"
+	}
+	var sb strings.Builder
+	sb.WriteString("MULTILINESTRING (")
+	for i, l := range m.Lines {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		writePoints(&sb, l.Points)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func writePolygonBody(sb *strings.Builder, p Polygon) {
+	sb.WriteByte('(')
+	writePoints(sb, p.Shell.closedPoints())
+	for _, h := range p.Holes {
+		sb.WriteString(", ")
+		writePoints(sb, Ring{Points: h.Points}.closedPoints())
+	}
+	sb.WriteByte(')')
+}
+
+// WKT implements Geometry.
+func (p Polygon) WKT() string {
+	if p.IsEmpty() {
+		return "POLYGON EMPTY"
+	}
+	var sb strings.Builder
+	sb.WriteString("POLYGON ")
+	writePolygonBody(&sb, p)
+	return sb.String()
+}
+
+// WKT implements Geometry.
+func (m MultiPolygon) WKT() string {
+	if m.IsEmpty() {
+		return "MULTIPOLYGON EMPTY"
+	}
+	var sb strings.Builder
+	sb.WriteString("MULTIPOLYGON (")
+	for i, p := range m.Polygons {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		writePolygonBody(&sb, p)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// WKT implements Geometry.
+func (c Collection) WKT() string {
+	if c.IsEmpty() {
+		return "GEOMETRYCOLLECTION EMPTY"
+	}
+	var sb strings.Builder
+	sb.WriteString("GEOMETRYCOLLECTION (")
+	for i, g := range c.Geometries {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(g.WKT())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// WKT parsing: a hand-written recursive-descent parser over a byte scanner.
+
+type wktScanner struct {
+	src string
+	pos int
+}
+
+func (s *wktScanner) skipSpace() {
+	for s.pos < len(s.src) {
+		switch s.src[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (s *wktScanner) errf(format string, args ...any) error {
+	return fmt.Errorf("wkt: %s at offset %d in %q", fmt.Sprintf(format, args...), s.pos, truncate(s.src, 60))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// word reads an identifier (letters only), upper-cased.
+func (s *wktScanner) word() string {
+	s.skipSpace()
+	start := s.pos
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			s.pos++
+		} else {
+			break
+		}
+	}
+	return strings.ToUpper(s.src[start:s.pos])
+}
+
+func (s *wktScanner) expect(c byte) error {
+	s.skipSpace()
+	if s.pos >= len(s.src) || s.src[s.pos] != c {
+		return s.errf("expected %q", string(c))
+	}
+	s.pos++
+	return nil
+}
+
+func (s *wktScanner) peek() byte {
+	s.skipSpace()
+	if s.pos >= len(s.src) {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+func (s *wktScanner) number() (float64, error) {
+	s.skipSpace()
+	start := s.pos
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			s.pos++
+		} else {
+			break
+		}
+	}
+	if start == s.pos {
+		return 0, s.errf("expected number")
+	}
+	v, err := strconv.ParseFloat(s.src[start:s.pos], 64)
+	if err != nil {
+		return 0, s.errf("bad number %q: %v", s.src[start:s.pos], err)
+	}
+	return v, nil
+}
+
+// coordSeq parses "(x y, x y, ...)". Extra per-point dimensions (Z, M) are
+// consumed and discarded so that 3-D WKT from external tools still loads.
+func (s *wktScanner) coordSeq() ([]Point, error) {
+	if err := s.expect('('); err != nil {
+		return nil, err
+	}
+	var pts []Point
+	for {
+		x, err := s.number()
+		if err != nil {
+			return nil, err
+		}
+		y, err := s.number()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{x, y})
+		// Swallow optional Z/M ordinates.
+		for {
+			c := s.peek()
+			if c == ',' || c == ')' || c == 0 {
+				break
+			}
+			if _, err := s.number(); err != nil {
+				return nil, err
+			}
+		}
+		switch s.peek() {
+		case ',':
+			s.pos++
+		case ')':
+			s.pos++
+			return pts, nil
+		default:
+			return nil, s.errf("expected ',' or ')'")
+		}
+	}
+}
+
+// maybeEmpty consumes the EMPTY keyword if present.
+func (s *wktScanner) maybeEmpty() bool {
+	save := s.pos
+	if s.word() == "EMPTY" {
+		return true
+	}
+	s.pos = save
+	return false
+}
+
+// maybeDimension consumes an optional Z / M / ZM dimension tag.
+func (s *wktScanner) maybeDimension() {
+	save := s.pos
+	switch s.word() {
+	case "Z", "M", "ZM":
+		return
+	}
+	s.pos = save
+}
+
+// ParseWKT parses a Well-Known Text geometry. Z/M ordinates are accepted and
+// dropped; only the 2-D footprint is retained.
+func ParseWKT(src string) (Geometry, error) {
+	s := &wktScanner{src: src}
+	g, err := s.geometry()
+	if err != nil {
+		return nil, err
+	}
+	s.skipSpace()
+	if s.pos != len(s.src) {
+		return nil, s.errf("trailing input")
+	}
+	return g, nil
+}
+
+func (s *wktScanner) geometry() (Geometry, error) {
+	tag := s.word()
+	s.maybeDimension()
+	switch tag {
+	case "POINT":
+		if s.maybeEmpty() {
+			return EmptyPoint(), nil
+		}
+		pts, err := s.coordSeq()
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) != 1 {
+			return nil, s.errf("POINT must have exactly one coordinate")
+		}
+		return pts[0], nil
+	case "MULTIPOINT":
+		if s.maybeEmpty() {
+			return MultiPoint{}, nil
+		}
+		return s.multiPoint()
+	case "LINESTRING":
+		if s.maybeEmpty() {
+			return LineString{}, nil
+		}
+		pts, err := s.coordSeq()
+		if err != nil {
+			return nil, err
+		}
+		return LineString{Points: pts}, nil
+	case "MULTILINESTRING":
+		if s.maybeEmpty() {
+			return MultiLineString{}, nil
+		}
+		if err := s.expect('('); err != nil {
+			return nil, err
+		}
+		var ml MultiLineString
+		for {
+			pts, err := s.coordSeq()
+			if err != nil {
+				return nil, err
+			}
+			ml.Lines = append(ml.Lines, LineString{Points: pts})
+			if s.peek() == ',' {
+				s.pos++
+				continue
+			}
+			break
+		}
+		if err := s.expect(')'); err != nil {
+			return nil, err
+		}
+		return ml, nil
+	case "POLYGON":
+		if s.maybeEmpty() {
+			return Polygon{}, nil
+		}
+		return s.polygon()
+	case "MULTIPOLYGON":
+		if s.maybeEmpty() {
+			return MultiPolygon{}, nil
+		}
+		if err := s.expect('('); err != nil {
+			return nil, err
+		}
+		var mp MultiPolygon
+		for {
+			p, err := s.polygon()
+			if err != nil {
+				return nil, err
+			}
+			mp.Polygons = append(mp.Polygons, p)
+			if s.peek() == ',' {
+				s.pos++
+				continue
+			}
+			break
+		}
+		if err := s.expect(')'); err != nil {
+			return nil, err
+		}
+		return mp, nil
+	case "GEOMETRYCOLLECTION":
+		if s.maybeEmpty() {
+			return Collection{}, nil
+		}
+		if err := s.expect('('); err != nil {
+			return nil, err
+		}
+		var c Collection
+		for {
+			g, err := s.geometry()
+			if err != nil {
+				return nil, err
+			}
+			c.Geometries = append(c.Geometries, g)
+			if s.peek() == ',' {
+				s.pos++
+				continue
+			}
+			break
+		}
+		if err := s.expect(')'); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case "":
+		return nil, s.errf("empty input")
+	default:
+		return nil, s.errf("unknown geometry type %q", tag)
+	}
+}
+
+// multiPoint accepts both "MULTIPOINT (1 2, 3 4)" and the nested form
+// "MULTIPOINT ((1 2), (3 4))".
+func (s *wktScanner) multiPoint() (Geometry, error) {
+	if err := s.expect('('); err != nil {
+		return nil, err
+	}
+	var mp MultiPoint
+	for {
+		if s.peek() == '(' {
+			pts, err := s.coordSeq()
+			if err != nil {
+				return nil, err
+			}
+			if len(pts) != 1 {
+				return nil, s.errf("nested MULTIPOINT member must have one coordinate")
+			}
+			mp.Points = append(mp.Points, pts[0])
+		} else {
+			x, err := s.number()
+			if err != nil {
+				return nil, err
+			}
+			y, err := s.number()
+			if err != nil {
+				return nil, err
+			}
+			mp.Points = append(mp.Points, Point{x, y})
+		}
+		if s.peek() == ',' {
+			s.pos++
+			continue
+		}
+		break
+	}
+	if err := s.expect(')'); err != nil {
+		return nil, err
+	}
+	return mp, nil
+}
+
+func (s *wktScanner) polygon() (Polygon, error) {
+	var p Polygon
+	if err := s.expect('('); err != nil {
+		return p, err
+	}
+	first := true
+	for {
+		pts, err := s.coordSeq()
+		if err != nil {
+			return p, err
+		}
+		if first {
+			p.Shell = Ring{Points: pts}
+			first = false
+		} else {
+			p.Holes = append(p.Holes, Ring{Points: pts})
+		}
+		if s.peek() == ',' {
+			s.pos++
+			continue
+		}
+		break
+	}
+	if err := s.expect(')'); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// MustParseWKT parses src or panics; for use in tests and constant data.
+func MustParseWKT(src string) Geometry {
+	g, err := ParseWKT(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,254 @@
+// Package grid implements the refinement step of the paper's two-step
+// spatial query model (§3.3): a regular grid is laid over the candidate
+// points produced by the imprint filter, every non-empty cell is classified
+// against the query region in a single step, and only points in cells that
+// straddle the region boundary are tested exhaustively.
+package grid
+
+import (
+	"math"
+
+	"gisnav/internal/colstore"
+	"gisnav/internal/geom"
+)
+
+// Region is the query area a refinement pass evaluates points against. The
+// two implementations cover the demo's query classes: exact geometry
+// predicates (point-in-polygon, §4.1) and within-distance predicates
+// ("points near a fast transit road", §4.2).
+type Region interface {
+	// Envelope bounds the region; points outside it never match.
+	Envelope() geom.Envelope
+	// Classify relates a grid cell to the region.
+	Classify(box geom.Envelope) geom.BoxRelation
+	// Contains is the exact per-point predicate used for boundary cells.
+	Contains(x, y float64) bool
+}
+
+// GeometryRegion adapts a geometry to Region with exact semantics.
+type GeometryRegion struct {
+	G geom.Geometry
+}
+
+// Envelope implements Region.
+func (r GeometryRegion) Envelope() geom.Envelope { return r.G.Envelope() }
+
+// Classify implements Region.
+func (r GeometryRegion) Classify(box geom.Envelope) geom.BoxRelation {
+	return geom.ClassifyBox(r.G, box)
+}
+
+// Contains implements Region.
+func (r GeometryRegion) Contains(x, y float64) bool { return geom.ContainsPoint(r.G, x, y) }
+
+// BufferRegion is the set of points within distance D of geometry G
+// (the ST_DWithin predicate). Cell classification is conservative, based on
+// the 1-Lipschitz property of the distance field: with c the cell centre and
+// rad the cell half-diagonal, dist(p) ∈ [dist(c)-rad, dist(c)+rad] for every
+// p in the cell, so cells provably inside or outside are decided with a
+// single distance evaluation.
+type BufferRegion struct {
+	G geom.Geometry
+	D float64
+}
+
+// Envelope implements Region.
+func (r BufferRegion) Envelope() geom.Envelope { return r.G.Envelope().Buffer(r.D) }
+
+// Classify implements Region.
+func (r BufferRegion) Classify(box geom.Envelope) geom.BoxRelation {
+	if box.IsEmpty() {
+		return geom.BoxOutside
+	}
+	c := box.Center()
+	rad := math.Hypot(box.Width(), box.Height()) / 2
+	dist := geom.DistancePointToGeometry(c.X, c.Y, r.G)
+	switch {
+	case dist+rad <= r.D:
+		return geom.BoxInside
+	case dist-rad > r.D:
+		return geom.BoxOutside
+	default:
+		return geom.BoxBoundary
+	}
+}
+
+// Contains implements Region.
+func (r BufferRegion) Contains(x, y float64) bool { return geom.DWithin(x, y, r.G, r.D) }
+
+// Options tunes refinement.
+type Options struct {
+	// TargetPointsPerCell sizes the grid so that cells hold roughly this
+	// many candidate points. Defaults to 64.
+	TargetPointsPerCell int
+	// MaxCellsPerSide caps the grid resolution. Defaults to 1024.
+	MaxCellsPerSide int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TargetPointsPerCell <= 0 {
+		o.TargetPointsPerCell = 64
+	}
+	if o.MaxCellsPerSide <= 0 {
+		o.MaxCellsPerSide = 1024
+	}
+	return o
+}
+
+// Stats reports what a refinement pass did; the per-operator EXPLAIN view
+// of the demo's second scenario surfaces these numbers.
+type Stats struct {
+	CandidateRows int // rows received from the filter step
+	GridCellsX    int
+	GridCellsY    int
+	CellsTouched  int // distinct non-empty cells classified
+	InsideCells   int
+	BoundaryCells int
+	OutsideCells  int
+	BulkAccepted  int // points accepted without an exact test
+	ExactTests    int // points needing the exact predicate
+	Matches       int
+}
+
+// cellState is the lazily computed classification of one grid cell.
+type cellState uint8
+
+const (
+	cellUnknown cellState = iota
+	cellInside
+	cellOutside
+	cellBoundary
+)
+
+// Refine evaluates the region over the candidate row ranges, reading point
+// coordinates from xs/ys, and returns the matching row indices in ascending
+// order. Cells are classified on first touch, so empty cells cost nothing.
+func Refine(xs, ys []float64, cand []colstore.Range, region Region, opts Options) ([]int, Stats) {
+	opts = opts.withDefaults()
+	var st Stats
+	st.CandidateRows = colstore.RangesLen(cand)
+	env := region.Envelope()
+	if env.IsEmpty() || st.CandidateRows == 0 {
+		return nil, st
+	}
+
+	nx, ny := gridDims(st.CandidateRows, env, opts)
+	st.GridCellsX, st.GridCellsY = nx, ny
+	cellW := env.Width() / float64(nx)
+	cellH := env.Height() / float64(ny)
+	// Degenerate extents (point/line regions) still get one cell column/row.
+	if cellW <= 0 {
+		cellW = 1
+	}
+	if cellH <= 0 {
+		cellH = 1
+	}
+
+	states := make([]cellState, nx*ny)
+	var matches []int
+	for _, r := range cand {
+		for row := r.Start; row < r.End; row++ {
+			x, y := xs[row], ys[row]
+			if x < env.MinX || x > env.MaxX || y < env.MinY || y > env.MaxY {
+				continue
+			}
+			cx := int((x - env.MinX) / cellW)
+			if cx >= nx {
+				cx = nx - 1
+			}
+			cy := int((y - env.MinY) / cellH)
+			if cy >= ny {
+				cy = ny - 1
+			}
+			idx := cy*nx + cx
+			state := states[idx]
+			if state == cellUnknown {
+				box := geom.Envelope{
+					MinX: env.MinX + float64(cx)*cellW,
+					MinY: env.MinY + float64(cy)*cellH,
+					MaxX: env.MinX + float64(cx+1)*cellW,
+					MaxY: env.MinY + float64(cy+1)*cellH,
+				}
+				st.CellsTouched++
+				switch region.Classify(box) {
+				case geom.BoxInside:
+					state = cellInside
+					st.InsideCells++
+				case geom.BoxOutside:
+					state = cellOutside
+					st.OutsideCells++
+				default:
+					state = cellBoundary
+					st.BoundaryCells++
+				}
+				states[idx] = state
+			}
+			switch state {
+			case cellInside:
+				st.BulkAccepted++
+				matches = append(matches, row)
+			case cellBoundary:
+				st.ExactTests++
+				if region.Contains(x, y) {
+					matches = append(matches, row)
+				}
+			}
+		}
+	}
+	st.Matches = len(matches)
+	return matches, st
+}
+
+// RefineExhaustive is the ablation baseline: every candidate point is tested
+// with the exact predicate, no grid (E10).
+func RefineExhaustive(xs, ys []float64, cand []colstore.Range, region Region) ([]int, Stats) {
+	var st Stats
+	st.CandidateRows = colstore.RangesLen(cand)
+	env := region.Envelope()
+	if env.IsEmpty() {
+		return nil, st
+	}
+	var matches []int
+	for _, r := range cand {
+		for row := r.Start; row < r.End; row++ {
+			x, y := xs[row], ys[row]
+			if x < env.MinX || x > env.MaxX || y < env.MinY || y > env.MaxY {
+				continue
+			}
+			st.ExactTests++
+			if region.Contains(x, y) {
+				matches = append(matches, row)
+			}
+		}
+	}
+	st.Matches = len(matches)
+	return matches, st
+}
+
+// gridDims sizes the grid to hold roughly TargetPointsPerCell candidates per
+// cell, shaped to the envelope's aspect ratio.
+func gridDims(candidates int, env geom.Envelope, opts Options) (nx, ny int) {
+	cells := candidates / opts.TargetPointsPerCell
+	if cells < 1 {
+		cells = 1
+	}
+	aspect := 1.0
+	if env.Height() > 0 {
+		aspect = env.Width() / env.Height()
+	}
+	fx := math.Sqrt(float64(cells) * aspect)
+	fy := float64(cells) / math.Max(fx, 1)
+	nx = clampDim(int(math.Ceil(fx)), opts.MaxCellsPerSide)
+	ny = clampDim(int(math.Ceil(fy)), opts.MaxCellsPerSide)
+	return nx, ny
+}
+
+func clampDim(v, maxSide int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > maxSide {
+		return maxSide
+	}
+	return v
+}

@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"math"
+
+	"gisnav/internal/geom"
+)
+
+// MultiRegion is the union of many geometries with a per-member envelope
+// index, the region shape produced by spatial joins ("points inside any
+// selected land-use zone"). Cell classification and point tests prune
+// members by envelope before touching exact geometry, which matters when a
+// thematic filter selects hundreds of zones (§4.2).
+type MultiRegion struct {
+	geoms []geom.Geometry
+	envs  []geom.Envelope
+	ext   geom.Envelope
+}
+
+// NewMultiRegion indexes the member geometries.
+func NewMultiRegion(geoms []geom.Geometry) *MultiRegion {
+	m := &MultiRegion{geoms: geoms, ext: geom.EmptyEnvelope()}
+	m.envs = make([]geom.Envelope, len(geoms))
+	for i, g := range geoms {
+		m.envs[i] = g.Envelope()
+		m.ext.ExpandToEnvelope(m.envs[i])
+	}
+	return m
+}
+
+// Envelope implements Region.
+func (m *MultiRegion) Envelope() geom.Envelope { return m.ext }
+
+// Classify implements Region: inside when any member fully contains the
+// box, outside when no member's envelope touches it, boundary otherwise.
+func (m *MultiRegion) Classify(box geom.Envelope) geom.BoxRelation {
+	rel := geom.BoxOutside
+	for i, env := range m.envs {
+		if !env.Intersects(box) {
+			continue
+		}
+		switch geom.ClassifyBox(m.geoms[i], box) {
+		case geom.BoxInside:
+			return geom.BoxInside
+		case geom.BoxBoundary:
+			rel = geom.BoxBoundary
+		}
+	}
+	return rel
+}
+
+// Contains implements Region.
+func (m *MultiRegion) Contains(x, y float64) bool {
+	for i, env := range m.envs {
+		if env.ContainsPoint(x, y) && geom.ContainsPoint(m.geoms[i], x, y) {
+			return true
+		}
+	}
+	return false
+}
+
+// MultiBuffer is the set of points within distance D of any member
+// geometry — the envelope-indexed form of BufferRegion for spatial joins
+// ("points near any fast-transit zone").
+type MultiBuffer struct {
+	geoms []geom.Geometry
+	envs  []geom.Envelope // member envelopes buffered by D
+	ext   geom.Envelope
+	d     float64
+}
+
+// NewMultiBuffer indexes the member geometries for distance d.
+func NewMultiBuffer(geoms []geom.Geometry, d float64) *MultiBuffer {
+	m := &MultiBuffer{geoms: geoms, d: d, ext: geom.EmptyEnvelope()}
+	m.envs = make([]geom.Envelope, len(geoms))
+	for i, g := range geoms {
+		m.envs[i] = g.Envelope().Buffer(d)
+		m.ext.ExpandToEnvelope(m.envs[i])
+	}
+	return m
+}
+
+// Envelope implements Region.
+func (m *MultiBuffer) Envelope() geom.Envelope { return m.ext }
+
+// Classify implements Region with the same Lipschitz argument as
+// BufferRegion, taking the minimum distance over envelope-surviving members.
+func (m *MultiBuffer) Classify(box geom.Envelope) geom.BoxRelation {
+	if box.IsEmpty() {
+		return geom.BoxOutside
+	}
+	c := box.Center()
+	rad := math.Hypot(box.Width(), box.Height()) / 2
+	dist := math.Inf(1)
+	for i, env := range m.envs {
+		// A member whose buffered envelope stays rad away from the centre
+		// cannot influence the classification of this box.
+		if env.DistanceToPoint(c.X, c.Y) > rad {
+			continue
+		}
+		dist = math.Min(dist, geom.DistancePointToGeometry(c.X, c.Y, m.geoms[i]))
+		if dist+rad <= m.d {
+			return geom.BoxInside
+		}
+	}
+	switch {
+	case dist+rad <= m.d:
+		return geom.BoxInside
+	case dist-rad > m.d:
+		return geom.BoxOutside
+	default:
+		return geom.BoxBoundary
+	}
+}
+
+// Contains implements Region.
+func (m *MultiBuffer) Contains(x, y float64) bool {
+	for i, env := range m.envs {
+		if env.ContainsPoint(x, y) && geom.DistancePointToGeometry(x, y, m.geoms[i]) <= m.d {
+			return true
+		}
+	}
+	return false
+}

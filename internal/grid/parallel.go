@@ -1,0 +1,109 @@
+package grid
+
+import (
+	"runtime"
+	"sync"
+
+	"gisnav/internal/colstore"
+	"gisnav/internal/geom"
+)
+
+// RefineParallel is Refine with the candidate rows partitioned across
+// workers. Results are identical to the serial pass (workers own disjoint,
+// ordered row partitions, so concatenation preserves ascending row order);
+// cell classifications are deterministic, so a cell classified by two
+// workers reaches the same verdict in both. Stats are summed across
+// workers — CellsTouched can exceed the distinct-cell count when partitions
+// share cells.
+//
+// workers <= 0 selects GOMAXPROCS.
+func RefineParallel(xs, ys []float64, cand []colstore.Range, region Region, opts Options, workers int) ([]int, Stats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := colstore.RangesLen(cand)
+	if workers == 1 || total < 4096 {
+		return Refine(xs, ys, cand, region, opts)
+	}
+	parts := splitRanges(cand, workers)
+	results := make([][]int, len(parts))
+	stats := make([]Stats, len(parts))
+	var wg sync.WaitGroup
+	for w := range parts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], stats[w] = Refine(xs, ys, parts[w], region, opts)
+		}(w)
+	}
+	wg.Wait()
+
+	var st Stats
+	var rows []int
+	for w := range parts {
+		rows = append(rows, results[w]...)
+		st.CandidateRows += stats[w].CandidateRows
+		st.CellsTouched += stats[w].CellsTouched
+		st.InsideCells += stats[w].InsideCells
+		st.BoundaryCells += stats[w].BoundaryCells
+		st.OutsideCells += stats[w].OutsideCells
+		st.BulkAccepted += stats[w].BulkAccepted
+		st.ExactTests += stats[w].ExactTests
+		if stats[w].GridCellsX > st.GridCellsX {
+			st.GridCellsX = stats[w].GridCellsX
+		}
+		if stats[w].GridCellsY > st.GridCellsY {
+			st.GridCellsY = stats[w].GridCellsY
+		}
+	}
+	st.Matches = len(rows)
+	return rows, st
+}
+
+// splitRanges cuts a sorted range list into n partitions of roughly equal
+// row counts, preserving order (partition i's rows all precede partition
+// i+1's).
+func splitRanges(cand []colstore.Range, n int) [][]colstore.Range {
+	total := colstore.RangesLen(cand)
+	if total == 0 || n <= 1 {
+		return [][]colstore.Range{cand}
+	}
+	target := (total + n - 1) / n
+	var parts [][]colstore.Range
+	var current []colstore.Range
+	currentRows := 0
+	for _, r := range cand {
+		for r.Len() > 0 {
+			room := target - currentRows
+			if room <= 0 {
+				parts = append(parts, current)
+				current, currentRows = nil, 0
+				room = target
+			}
+			take := r.Len()
+			if take > room {
+				take = room
+			}
+			current = append(current, colstore.Range{Start: r.Start, End: r.Start + take})
+			currentRows += take
+			r.Start += take
+		}
+	}
+	if len(current) > 0 {
+		parts = append(parts, current)
+	}
+	return parts
+}
+
+// RefineAuto picks the parallel path for large candidate sets and the
+// serial path otherwise. The crossover favours serial work for small
+// selections where goroutine fan-out costs more than it saves.
+func RefineAuto(xs, ys []float64, cand []colstore.Range, region Region, opts Options) ([]int, Stats) {
+	if colstore.RangesLen(cand) >= 1<<17 {
+		return RefineParallel(xs, ys, cand, region, opts, 0)
+	}
+	return Refine(xs, ys, cand, region, opts)
+}
+
+// compile-time check that regions used here satisfy the interface.
+var _ Region = GeometryRegion{G: geom.Point{}}

@@ -1,0 +1,162 @@
+package las
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// HeaderSize is the LAS 1.2 public header block size in bytes.
+const HeaderSize = 227
+
+// signature is the magic at the start of every LAS file.
+var signature = [4]byte{'L', 'A', 'S', 'F'}
+
+// Header is the LAS 1.2 public header block. Only the fields the pipeline
+// consumes are exposed; reserved and GUID regions round-trip as zeros.
+type Header struct {
+	FileSourceID   uint16
+	GlobalEncoding uint16
+	VersionMajor   uint8
+	VersionMinor   uint8
+	SystemID       string // at most 32 bytes
+	Software       string // at most 32 bytes
+	CreationDay    uint16
+	CreationYear   uint16
+	PointFormat    uint8
+	PointCount     uint32
+	ReturnCounts   [5]uint32
+	ScaleX         float64
+	ScaleY         float64
+	ScaleZ         float64
+	OffsetX        float64
+	OffsetY        float64
+	OffsetZ        float64
+	MaxX, MinX     float64
+	MaxY, MinY     float64
+	MaxZ, MinZ     float64
+}
+
+// RecordSize returns the point record length for the header's format.
+func (h Header) RecordSize() int { return PointFormatSize(h.PointFormat) }
+
+// Validate checks internal consistency.
+func (h Header) Validate() error {
+	if PointFormatSize(h.PointFormat) == 0 {
+		return fmt.Errorf("las: unsupported point format %d", h.PointFormat)
+	}
+	if h.ScaleX == 0 || h.ScaleY == 0 || h.ScaleZ == 0 {
+		return fmt.Errorf("las: zero coordinate scale")
+	}
+	return nil
+}
+
+// encode renders the 227-byte header block.
+func (h Header) encode() []byte {
+	buf := make([]byte, HeaderSize)
+	copy(buf[0:4], signature[:])
+	le := binary.LittleEndian
+	le.PutUint16(buf[4:], h.FileSourceID)
+	le.PutUint16(buf[6:], h.GlobalEncoding)
+	// bytes 8..23: project GUID, zeroed
+	buf[24] = h.VersionMajor
+	buf[25] = h.VersionMinor
+	copy(buf[26:58], h.SystemID)
+	copy(buf[58:90], h.Software)
+	le.PutUint16(buf[90:], h.CreationDay)
+	le.PutUint16(buf[92:], h.CreationYear)
+	le.PutUint16(buf[94:], HeaderSize)
+	le.PutUint32(buf[96:], HeaderSize) // offset to point data: no VLRs
+	le.PutUint32(buf[100:], 0)         // VLR count
+	buf[104] = h.PointFormat
+	le.PutUint16(buf[105:], uint16(h.RecordSize()))
+	le.PutUint32(buf[107:], h.PointCount)
+	for i, c := range h.ReturnCounts {
+		le.PutUint32(buf[111+4*i:], c)
+	}
+	putF64 := func(off int, v float64) { le.PutUint64(buf[off:], math.Float64bits(v)) }
+	putF64(131, h.ScaleX)
+	putF64(139, h.ScaleY)
+	putF64(147, h.ScaleZ)
+	putF64(155, h.OffsetX)
+	putF64(163, h.OffsetY)
+	putF64(171, h.OffsetZ)
+	putF64(179, h.MaxX)
+	putF64(187, h.MinX)
+	putF64(195, h.MaxY)
+	putF64(203, h.MinY)
+	putF64(211, h.MaxZ)
+	putF64(219, h.MinZ)
+	return buf
+}
+
+// decodeHeader parses a 227-byte header block.
+func decodeHeader(buf []byte) (Header, uint32, error) {
+	var h Header
+	if len(buf) < HeaderSize {
+		return h, 0, fmt.Errorf("las: header truncated: %d bytes", len(buf))
+	}
+	if [4]byte(buf[0:4]) != signature {
+		return h, 0, fmt.Errorf("las: bad signature %q", buf[0:4])
+	}
+	le := binary.LittleEndian
+	h.FileSourceID = le.Uint16(buf[4:])
+	h.GlobalEncoding = le.Uint16(buf[6:])
+	h.VersionMajor = buf[24]
+	h.VersionMinor = buf[25]
+	h.SystemID = trimZeros(buf[26:58])
+	h.Software = trimZeros(buf[58:90])
+	h.CreationDay = le.Uint16(buf[90:])
+	h.CreationYear = le.Uint16(buf[92:])
+	offset := le.Uint32(buf[96:])
+	h.PointFormat = buf[104]
+	recLen := le.Uint16(buf[105:])
+	h.PointCount = le.Uint32(buf[107:])
+	for i := range h.ReturnCounts {
+		h.ReturnCounts[i] = le.Uint32(buf[111+4*i:])
+	}
+	getF64 := func(off int) float64 { return math.Float64frombits(le.Uint64(buf[off:])) }
+	h.ScaleX = getF64(131)
+	h.ScaleY = getF64(139)
+	h.ScaleZ = getF64(147)
+	h.OffsetX = getF64(155)
+	h.OffsetY = getF64(163)
+	h.OffsetZ = getF64(171)
+	h.MaxX = getF64(179)
+	h.MinX = getF64(187)
+	h.MaxY = getF64(195)
+	h.MinY = getF64(203)
+	h.MaxZ = getF64(211)
+	h.MinZ = getF64(219)
+	if err := h.Validate(); err != nil {
+		return h, 0, err
+	}
+	if int(recLen) != h.RecordSize() {
+		return h, 0, fmt.Errorf("las: record length %d does not match format %d (want %d)",
+			recLen, h.PointFormat, h.RecordSize())
+	}
+	if offset < HeaderSize {
+		return h, 0, fmt.Errorf("las: point data offset %d inside header", offset)
+	}
+	return h, offset, nil
+}
+
+func trimZeros(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// ReadHeader reads and parses only the public header block from r.
+func ReadHeader(r io.Reader) (Header, error) {
+	buf := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Header{}, fmt.Errorf("las: reading header: %w", err)
+	}
+	h, _, err := decodeHeader(buf)
+	return h, err
+}

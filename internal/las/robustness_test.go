@@ -1,0 +1,96 @@
+package las
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Robustness: the LAS and LAZ-sim readers must reject corrupt streams with
+// errors, never panic or over-allocate.
+
+func TestLASReaderRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(HeaderSize * 2)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if iter%3 == 0 && n >= 4 {
+			copy(buf, "LASF") // plausible magic, garbage rest
+		}
+		r, err := NewReader(bytes.NewReader(buf))
+		if err != nil {
+			continue
+		}
+		// A reader that accepted a header must fail gracefully on points.
+		for {
+			if _, err := r.Read(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestLASHeaderFieldCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1, 0.01, 0.01, 0.01, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write(Point{X: 1, Y: 2, Z: 3, GPSTime: 4})
+	w.Close()
+	valid := buf.Bytes()
+
+	rng := rand.New(rand.NewSource(223))
+	for iter := 0; iter < 3000; iter++ {
+		mut := append([]byte(nil), valid...)
+		// Corrupt only header bytes so the failure lands in validation.
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			mut[rng.Intn(HeaderSize)] = byte(rng.Intn(256))
+		}
+		r, err := NewReader(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		for {
+			if _, err := r.Read(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func TestLAZReaderRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	for iter := 0; iter < 2000; iter++ {
+		n := rng.Intn(600)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if iter%2 == 0 && n >= 4 {
+			copy(buf, lazMagic[:])
+		}
+		_, _, _ = ReadLAZ(bytes.NewReader(buf)) // must not panic
+	}
+}
+
+func TestLAZMutatedValidStream(t *testing.T) {
+	pts := samplePoints(200, 31)
+	var buf bytes.Buffer
+	if err := WriteLAZ(&buf, 3, 0.01, 0.01, 0.01, 100000, 450000, 0, pts); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(229))
+	for iter := 0; iter < 1500; iter++ {
+		mut := append([]byte(nil), valid...)
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			mut[rng.Intn(len(mut))] ^= 1 << uint(rng.Intn(8))
+		}
+		// Decoding may succeed (bit flips in coordinates) or fail; it must
+		// never panic and never return more points than the header claims.
+		h, got, err := ReadLAZ(bytes.NewReader(mut))
+		if err == nil && len(got) > int(h.PointCount) {
+			t.Fatalf("decoded %d points, header says %d", len(got), h.PointCount)
+		}
+	}
+}

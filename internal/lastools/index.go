@@ -1,0 +1,310 @@
+package lastools
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"gisnav/internal/geom"
+	"gisnav/internal/las"
+	"gisnav/internal/sfc"
+)
+
+// lassort / lasindex reimplementation. SortFile rewrites a LAS tile with its
+// points in space-filling-curve order so that spatially close points become
+// contiguous record ranges; IndexFile then writes a ".lax" sidecar mapping
+// quadtree cells to record intervals, letting ClipBox seek straight to the
+// relevant byte ranges instead of scanning the tile (§2.3).
+
+// SortFile rewrites the LAS file at path with points ordered along the given
+// space-filling curve. Compressed (.laz) tiles are not supported — matching
+// the real toolchain, where lassort operates on LAS.
+func SortFile(path string, curve sfc.Curve) error {
+	h, pts, err := las.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("lastools: sort %s: %w", path, err)
+	}
+	env := geom.NewEnvelope(h.MinX, h.MinY, h.MaxX, h.MaxY)
+	if env.Width() == 0 && env.Height() == 0 {
+		return nil // single location; nothing to sort
+	}
+	g := sfc.NewGrid(env, 16)
+	keys := make([]uint64, len(pts))
+	for i, p := range pts {
+		keys[i] = g.Key(curve, p.X, p.Y)
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sorted := make([]las.Point, len(pts))
+	for i, j := range idx {
+		sorted[i] = pts[j]
+	}
+	return las.WriteFile(path, h.PointFormat, h.ScaleX, h.ScaleY, h.ScaleZ,
+		h.OffsetX, h.OffsetY, h.OffsetZ, sorted)
+}
+
+// laxMagic marks a .lax sidecar.
+var laxMagic = [4]byte{'L', 'A', 'X', '1'}
+
+// IndexCell is one quadtree leaf: a bbox plus the record intervals holding
+// its points. After lassort each cell typically holds a single interval.
+type IndexCell struct {
+	Env       geom.Envelope
+	Intervals [][2]uint32 // half-open record index ranges
+}
+
+// Index is the content of a .lax sidecar.
+type Index struct {
+	Cells []IndexCell
+}
+
+// IndexFile builds a quadtree over the points of the LAS file at path and
+// writes it to path+".lax". maxLeaf bounds points per leaf cell.
+func IndexFile(path string, maxLeaf int) error {
+	if maxLeaf < 1 {
+		return fmt.Errorf("lastools: maxLeaf must be positive")
+	}
+	h, pts, err := las.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("lastools: index %s: %w", path, err)
+	}
+	env := geom.NewEnvelope(h.MinX, h.MinY, h.MaxX, h.MaxY)
+	recs := make([]uint32, len(pts))
+	for i := range recs {
+		recs[i] = uint32(i)
+	}
+	var idx Index
+	buildQuad(env, pts, recs, maxLeaf, 12, &idx)
+	return writeIndex(path+".lax", idx)
+}
+
+// buildQuad recursively partitions record ids until leaves fit maxLeaf.
+func buildQuad(env geom.Envelope, pts []las.Point, recs []uint32, maxLeaf, depth int, out *Index) {
+	if len(recs) == 0 {
+		return
+	}
+	if len(recs) <= maxLeaf || depth == 0 {
+		out.Cells = append(out.Cells, IndexCell{Env: env, Intervals: intervalsOf(recs)})
+		return
+	}
+	c := env.Center()
+	quads := [4]geom.Envelope{
+		geom.NewEnvelope(env.MinX, env.MinY, c.X, c.Y),
+		geom.NewEnvelope(c.X, env.MinY, env.MaxX, c.Y),
+		geom.NewEnvelope(env.MinX, c.Y, c.X, env.MaxY),
+		geom.NewEnvelope(c.X, c.Y, env.MaxX, env.MaxY),
+	}
+	var parts [4][]uint32
+	for _, rec := range recs {
+		p := pts[rec]
+		qi := 0
+		if p.X >= c.X {
+			qi |= 1
+		}
+		if p.Y >= c.Y {
+			qi |= 2
+		}
+		parts[qi] = append(parts[qi], rec)
+	}
+	// Degenerate split (all points identical): emit a leaf.
+	for _, part := range parts {
+		if len(part) == len(recs) {
+			out.Cells = append(out.Cells, IndexCell{Env: env, Intervals: intervalsOf(recs)})
+			return
+		}
+	}
+	for qi, part := range parts {
+		buildQuad(quads[qi], pts, part, maxLeaf, depth-1, out)
+	}
+}
+
+// intervalsOf compresses sorted record ids into half-open intervals.
+func intervalsOf(recs []uint32) [][2]uint32 {
+	if len(recs) == 0 {
+		return nil
+	}
+	sorted := append([]uint32(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out [][2]uint32
+	start := sorted[0]
+	prev := sorted[0]
+	for _, r := range sorted[1:] {
+		if r == prev+1 {
+			prev = r
+			continue
+		}
+		out = append(out, [2]uint32{start, prev + 1})
+		start, prev = r, r
+	}
+	out = append(out, [2]uint32{start, prev + 1})
+	return out
+}
+
+func writeIndex(path string, idx Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	le := binary.LittleEndian
+	var buf [8]byte
+	writeU32 := func(v uint32) {
+		le.PutUint32(buf[:4], v)
+		bw.Write(buf[:4])
+	}
+	writeF64 := func(v float64) {
+		le.PutUint64(buf[:], math.Float64bits(v))
+		bw.Write(buf[:])
+	}
+	bw.Write(laxMagic[:])
+	writeU32(uint32(len(idx.Cells)))
+	for _, c := range idx.Cells {
+		writeF64(c.Env.MinX)
+		writeF64(c.Env.MinY)
+		writeF64(c.Env.MaxX)
+		writeF64(c.Env.MaxY)
+		writeU32(uint32(len(c.Intervals)))
+		for _, iv := range c.Intervals {
+			writeU32(iv[0])
+			writeU32(iv[1])
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads a .lax sidecar.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("lastools: lax magic: %w", err)
+	}
+	if magic != laxMagic {
+		return nil, fmt.Errorf("lastools: %s is not a lax sidecar", path)
+	}
+	le := binary.LittleEndian
+	var buf [8]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(buf[:4]), nil
+	}
+	readF64 := func() (float64, error) {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(le.Uint64(buf[:])), nil
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{Cells: make([]IndexCell, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		var c IndexCell
+		if c.Env.MinX, err = readF64(); err != nil {
+			return nil, err
+		}
+		if c.Env.MinY, err = readF64(); err != nil {
+			return nil, err
+		}
+		if c.Env.MaxX, err = readF64(); err != nil {
+			return nil, err
+		}
+		if c.Env.MaxY, err = readF64(); err != nil {
+			return nil, err
+		}
+		m, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < m; j++ {
+			lo, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			hi, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			c.Intervals = append(c.Intervals, [2]uint32{lo, hi})
+		}
+		idx.Cells = append(idx.Cells, c)
+	}
+	return idx, nil
+}
+
+// clipIndexed serves a clip query through the .lax sidecar, reading only the
+// record intervals of quadtree cells intersecting env. Returns the matching
+// points and the number of records decoded.
+func clipIndexed(path string, env geom.Envelope, pred func(las.Point) bool) ([]las.Point, int, error) {
+	idx, err := LoadIndex(path + ".lax")
+	if err != nil {
+		return nil, 0, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	h, err := las.ReadHeader(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	recSize := int64(h.RecordSize())
+	// Gather intervals of all intersecting cells, merged to avoid re-reads.
+	var ivs [][2]uint32
+	for _, c := range idx.Cells {
+		if c.Env.Intersects(env) {
+			ivs = append(ivs, c.Intervals...)
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	merged := ivs[:0]
+	for _, iv := range ivs {
+		if len(merged) > 0 && iv[0] <= merged[len(merged)-1][1] {
+			if iv[1] > merged[len(merged)-1][1] {
+				merged[len(merged)-1][1] = iv[1]
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	var out []las.Point
+	read := 0
+	rec := make([]byte, recSize)
+	for _, iv := range merged {
+		if _, err := f.Seek(int64(las.HeaderSize)+int64(iv[0])*recSize, io.SeekStart); err != nil {
+			return out, read, err
+		}
+		br := bufio.NewReaderSize(f, 1<<16)
+		for r := iv[0]; r < iv[1]; r++ {
+			if _, err := io.ReadFull(br, rec); err != nil {
+				return out, read, fmt.Errorf("lastools: %s record %d: %w", path, r, err)
+			}
+			read++
+			p := las.DecodeRecord(rec, h)
+			if pred(p) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out, read, nil
+}

@@ -1,0 +1,176 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed expression node.
+type Expr interface {
+	exprString() string
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+}
+
+func (e NumberLit) exprString() string { return fmt.Sprintf("%g", e.Value) }
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value string
+}
+
+func (e StringLit) exprString() string { return "'" + e.Value + "'" }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct {
+	Value bool
+}
+
+func (e BoolLit) exprString() string { return strings.ToUpper(fmt.Sprintf("%t", e.Value)) }
+
+// ColumnRef references a (optionally qualified) column.
+type ColumnRef struct {
+	Table string // empty when unqualified
+	Name  string
+}
+
+func (e ColumnRef) exprString() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+// Star is the * select item (and count(*) argument).
+type Star struct{}
+
+func (Star) exprString() string { return "*" }
+
+// FuncCall is a function invocation.
+type FuncCall struct {
+	Name string // lower-cased
+	Args []Expr
+}
+
+func (e FuncCall) exprString() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.exprString()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// BinaryExpr is an infix operation; Op is one of AND OR = <> < <= > >= + - * / %.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (e BinaryExpr) exprString() string {
+	return "(" + e.L.exprString() + " " + e.Op + " " + e.R.exprString() + ")"
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct {
+	E Expr
+}
+
+func (e NotExpr) exprString() string { return "NOT " + e.E.exprString() }
+
+// BetweenExpr is `subject BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Subject, Lo, Hi Expr
+}
+
+func (e BetweenExpr) exprString() string {
+	return e.Subject.exprString() + " BETWEEN " + e.Lo.exprString() + " AND " + e.Hi.exprString()
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a FROM table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// OrderBy is the sort clause.
+type OrderBy struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr // nil when absent
+	GroupBy []Expr
+	Order   *OrderBy
+	Limit   int // -1 when absent
+}
+
+// String reassembles a canonical form of the statement (diagnostics only).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Expr.exprString())
+		if it.Alias != "" {
+			sb.WriteString(" AS " + it.Alias)
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.Name)
+		if t.Alias != "" {
+			sb.WriteString(" " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.exprString())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.exprString())
+		}
+	}
+	if s.Order != nil {
+		sb.WriteString(" ORDER BY " + s.Order.Expr.exprString())
+		if s.Order.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	return sb.String()
+}
+
+// splitConjuncts flattens a WHERE tree into AND-connected conjuncts.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}

@@ -1,0 +1,226 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gisnav/internal/engine"
+)
+
+// GROUP BY execution. Each select item must be either an aggregate or an
+// expression appearing in the GROUP BY list; one output row emerges per
+// distinct key, ordered by key (or by ORDER BY over an output column).
+
+// aggAcc accumulates one aggregate over one group.
+type aggAcc struct {
+	n        int
+	sum      float64
+	lo, hi   float64
+	starArgs bool // count(*)
+}
+
+func (a *aggAcc) add(v float64) {
+	if a.n == 0 {
+		a.lo, a.hi = v, v
+	} else {
+		if v < a.lo {
+			a.lo = v
+		}
+		if v > a.hi {
+			a.hi = v
+		}
+	}
+	a.sum += v
+	a.n++
+}
+
+func (a *aggAcc) result(name string) Value {
+	switch name {
+	case "count":
+		return numVal(float64(a.n))
+	case "sum":
+		return numVal(a.sum)
+	case "avg":
+		if a.n == 0 {
+			return Value{Kind: KindNull}
+		}
+		return numVal(a.sum / float64(a.n))
+	case "min":
+		if a.n == 0 {
+			return Value{Kind: KindNull}
+		}
+		return numVal(a.lo)
+	case "max":
+		if a.n == 0 {
+			return Value{Kind: KindNull}
+		}
+		return numVal(a.hi)
+	default:
+		return Value{Kind: KindNull}
+	}
+}
+
+// itemPlan classifies one select item of a grouped query.
+type itemPlan struct {
+	name     string
+	keyIndex int      // ≥ 0: the item is group key #keyIndex
+	agg      FuncCall // valid when keyIndex < 0
+}
+
+// group holds the state of one distinct key.
+type group struct {
+	keyVals []Value
+	accs    []aggAcc
+}
+
+// outputGrouped materialises a GROUP BY query over the selected rows.
+func (e *Executor) outputGrouped(stmt *SelectStmt, b *binding, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
+	start := time.Now()
+	// Resolve select-item aliases used as GROUP BY keys to their
+	// underlying expressions (e.g. GROUP BY cls for "classification AS cls").
+	groupBy := append([]Expr(nil), stmt.GroupBy...)
+	for k, g := range groupBy {
+		c, ok := g.(ColumnRef)
+		if !ok || c.Table != "" {
+			continue
+		}
+		for _, item := range stmt.Items {
+			if item.Alias != "" && strings.EqualFold(item.Alias, c.Name) {
+				groupBy[k] = item.Expr
+				break
+			}
+		}
+	}
+	stmt = &SelectStmt{
+		Items: stmt.Items, From: stmt.From, Where: stmt.Where,
+		GroupBy: groupBy, Order: stmt.Order, Limit: stmt.Limit,
+	}
+	// Classify select items against the group-by list.
+	plans := make([]itemPlan, len(stmt.Items))
+	var aggItems []FuncCall
+	for i, item := range stmt.Items {
+		name := item.Alias
+		if name == "" {
+			name = item.Expr.exprString()
+		}
+		plans[i] = itemPlan{name: name, keyIndex: -1}
+		if f, ok := isAggregate(item.Expr); ok {
+			plans[i].agg = f
+			aggItems = append(aggItems, f)
+			continue
+		}
+		matched := false
+		for k, g := range stmt.GroupBy {
+			if g.exprString() == item.Expr.exprString() ||
+				(item.Alias != "" && g.exprString() == item.Alias) {
+				plans[i].keyIndex = k
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("sql: %q must appear in GROUP BY or be an aggregate", plans[i].name)
+		}
+	}
+
+	// Accumulate.
+	groups := map[string]*group{}
+	ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
+	var keyBuf strings.Builder
+	for _, r := range rows {
+		setRow(ctx, isVector, r)
+		keyVals := make([]Value, len(stmt.GroupBy))
+		keyBuf.Reset()
+		for k, gexpr := range stmt.GroupBy {
+			v, err := evalExpr(ctx, gexpr)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[k] = v
+			keyBuf.WriteString(v.String())
+			keyBuf.WriteByte(0)
+		}
+		key := keyBuf.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{keyVals: keyVals, accs: make([]aggAcc, len(aggItems))}
+			groups[key] = grp
+		}
+		for ai, f := range aggItems {
+			acc := &grp.accs[ai]
+			if f.Name == "count" && len(f.Args) == 1 {
+				if _, isStar := f.Args[0].(Star); isStar {
+					acc.n++
+					continue
+				}
+			}
+			if len(f.Args) != 1 {
+				return nil, fmt.Errorf("sql: %s expects one argument", f.Name)
+			}
+			v, err := evalExpr(ctx, f.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind != KindNum {
+				return nil, fmt.Errorf("sql: %s needs numeric input", f.Name)
+			}
+			acc.add(v.Num)
+		}
+	}
+
+	// Emit one row per group, deterministically ordered by key string.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	res := &Result{Explain: ex}
+	for _, p := range plans {
+		res.Columns = append(res.Columns, p.name)
+	}
+	for _, k := range keys {
+		grp := groups[k]
+		row := make([]Value, len(plans))
+		ai := 0
+		for i, p := range plans {
+			if p.keyIndex >= 0 {
+				row[i] = grp.keyVals[p.keyIndex]
+			} else {
+				row[i] = grp.accs[ai].result(p.agg.Name)
+				ai++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	ex.Add("group", fmt.Sprintf("%d groups over %d keys", len(groups), len(stmt.GroupBy)),
+		len(rows), len(res.Rows), time.Since(start))
+
+	// ORDER BY over an output column (by alias or expression text).
+	if stmt.Order != nil {
+		col := -1
+		want := stmt.Order.Expr.exprString()
+		for i, p := range plans {
+			if p.name == want || stmt.Items[i].Expr.exprString() == want {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return nil, fmt.Errorf("sql: ORDER BY %q must name a select item in grouped queries", want)
+		}
+		desc := stmt.Order.Desc
+		sort.SliceStable(res.Rows, func(a, c int) bool {
+			if desc {
+				return valueLess(res.Rows[c][col], res.Rows[a][col])
+			}
+			return valueLess(res.Rows[a][col], res.Rows[c][col])
+		})
+	}
+	if stmt.Limit >= 0 && len(res.Rows) > stmt.Limit {
+		res.Rows = res.Rows[:stmt.Limit]
+	}
+	return res, nil
+}

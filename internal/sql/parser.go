@@ -1,0 +1,404 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+// acceptKeyword consumes kw if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+// acceptPunct consumes the punctuation if present.
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tokPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{Expr: e}
+		if p.acceptKeyword("DESC") {
+			ob.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		stmt.Order = ob
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected LIMIT count")
+		}
+		n, err := strconv.Atoi(p.cur().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", p.cur().text)
+		}
+		p.pos++
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.acceptPunct("*") {
+		return SelectItem{Expr: Star{}}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		if p.cur().kind != tokIdent {
+			return item, p.errf("expected alias after AS")
+		}
+		item.Alias = p.cur().text
+		p.pos++
+	} else if p.cur().kind == tokIdent {
+		// Bare alias.
+		item.Alias = p.cur().text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	if p.cur().kind != tokIdent {
+		return TableRef{}, p.errf("expected table name, got %q", p.cur().text)
+	}
+	ref := TableRef{Name: p.cur().text}
+	p.pos++
+	if p.acceptKeyword("AS") {
+		if p.cur().kind != tokIdent {
+			return ref, p.errf("expected alias after AS")
+		}
+		ref.Alias = p.cur().text
+		p.pos++
+	} else if p.cur().kind == tokIdent {
+		ref.Alias = p.cur().text
+		p.pos++
+	}
+	return ref, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((= | <> | < | <= | > | >=) addExpr | BETWEEN addExpr AND addExpr)?
+//	addExpr := mulExpr ((+|-) mulExpr)*
+//	mulExpr := unary ((*|/|%) unary)*
+//	unary   := - unary | primary
+//	primary := number | string | TRUE | FALSE | func(args) | colref | ( expr )
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokOp {
+		switch p.cur().text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			op := p.cur().text
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenExpr{Subject: l, Lo: lo, Hi: hi}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.cur().text
+		p.pos++
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for (p.cur().kind == tokOp && (p.cur().text == "/" || p.cur().text == "%")) ||
+		(p.cur().kind == tokPunct && p.cur().text == "*") {
+		op := p.cur().text
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.cur().kind == tokOp && p.cur().text == "-" {
+		p.pos++
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return BinaryExpr{Op: "-", L: NumberLit{0}, R: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		p.pos++
+		return NumberLit{Value: v}, nil
+	case tokString:
+		p.pos++
+		return StringLit{Value: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return BoolLit{Value: true}, nil
+		case "FALSE":
+			p.pos++
+			return BoolLit{Value: false}, nil
+		}
+		return nil, p.errf("unexpected keyword %q", t.text)
+	case tokIdent:
+		name := t.text
+		p.pos++
+		// Function call?
+		if p.acceptPunct("(") {
+			call := FuncCall{Name: strings.ToLower(name)}
+			if p.acceptPunct(")") {
+				return call, nil
+			}
+			for {
+				if p.acceptPunct("*") {
+					call.Args = append(call.Args, Star{})
+				} else {
+					arg, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+				}
+				if p.acceptPunct(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.acceptPunct(".") {
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected column after %q.", name)
+			}
+			col := p.cur().text
+			p.pos++
+			return ColumnRef{Table: name, Name: col}, nil
+		}
+		return ColumnRef{Name: name}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

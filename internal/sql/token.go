@@ -1,0 +1,202 @@
+// Package sql implements the declarative front-end of the spatially-enabled
+// column store: a SELECT subset with the OGC Simple Features functions the
+// demo's predefined and ad-hoc queries use (§3.3, §4) — ST_MakeEnvelope,
+// ST_GeomFromText, ST_Point, ST_Contains, ST_Intersects, ST_DWithin — over
+// flat point-cloud tables, vector tables, and the one join shape scenario 2
+// exercises (point cloud × vector table under a spatial predicate).
+//
+// The planner recognises accelerable predicate shapes and routes them to the
+// engine's filter–refine operators; anything else falls back to a row-wise
+// expression evaluator, so every well-formed query of the subset executes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // comparison and arithmetic operators
+	tokPunct // ( ) , . *
+)
+
+// token is one lexeme with its source offset for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// keywords recognised by the parser (upper-cased).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "AS": true, "ORDER": true, "BY": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "BETWEEN": true, "TRUE": true, "FALSE": true,
+	"GROUP": true,
+}
+
+// lexer splits a query string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.ident()
+		case c >= '0' && c <= '9':
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case c == '(', c == ')', c == ',', c == '.', c == '*':
+			l.emit(tokPunct, string(c), l.pos)
+			l.pos++
+		case c == '=', c == '+', c == '-', c == '/', c == '%':
+			l.emit(tokOp, string(c), l.pos)
+			l.pos++
+		case c == '<':
+			if l.peekAt(1) == '=' {
+				l.emit(tokOp, "<=", l.pos)
+				l.pos += 2
+			} else if l.peekAt(1) == '>' {
+				l.emit(tokOp, "<>", l.pos)
+				l.pos += 2
+			} else {
+				l.emit(tokOp, "<", l.pos)
+				l.pos++
+			}
+		case c == '>':
+			if l.peekAt(1) == '=' {
+				l.emit(tokOp, ">=", l.pos)
+				l.pos += 2
+			} else {
+				l.emit(tokOp, ">", l.pos)
+				l.pos++
+			}
+		case c == '!':
+			if l.peekAt(1) == '=' {
+				l.emit(tokOp, "<>", l.pos)
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at %d", l.pos)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if keywords[strings.ToUpper(text)] {
+		l.emit(tokKeyword, strings.ToUpper(text), start)
+		return
+	}
+	l.emit(tokIdent, text, start)
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			l.emit(tokNumber, l.src[start:l.pos], start)
+			return nil
+		}
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+	return nil
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.peekAt(1) == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, sb.String(), start)
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}

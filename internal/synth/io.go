@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gisnav/internal/geom"
+)
+
+// Tab-separated interchange files for the vector datasets, so the command
+// line tools (lasgen, pcquery, pcviz, pcbench) can exchange generated OSM
+// and Urban Atlas layers on disk alongside the LAS tiles. WKT carries the
+// geometry; tabs never occur in the synthetic names.
+
+// WriteOSMFile writes features as TSV: id, class, name, wkt.
+func WriteOSMFile(path string, feats []Feature) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	fmt.Fprintln(bw, "id\tclass\tname\twkt")
+	for _, ft := range feats {
+		fmt.Fprintf(bw, "%d\t%s\t%s\t%s\n", ft.ID, ft.Class, ft.Name, ft.Geom.WKT())
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadOSMFile parses a TSV feature file.
+func ReadOSMFile(path string) ([]Feature, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Feature
+	line := 0
+	for sc.Scan() {
+		line++
+		if line == 1 {
+			continue // header
+		}
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("synth: %s line %d: want 4 fields, got %d", path, line, len(parts))
+		}
+		id, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s line %d: %w", path, line, err)
+		}
+		g, err := geom.ParseWKT(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s line %d: %w", path, line, err)
+		}
+		out = append(out, Feature{ID: id, Class: parts[1], Name: parts[2], Geom: g})
+	}
+	return out, sc.Err()
+}
+
+// WriteUAFile writes zones as TSV: id, code, pop_density, wkt.
+func WriteUAFile(path string, zones []Zone) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	fmt.Fprintln(bw, "id\tcode\tpop_density\twkt")
+	for _, z := range zones {
+		fmt.Fprintf(bw, "%d\t%s\t%g\t%s\n", z.ID, z.Code, z.PopDensity, z.Geom.WKT())
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadUAFile parses a TSV zone file; labels are rederived from codes.
+func ReadUAFile(path string) ([]Zone, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var out []Zone
+	line := 0
+	for sc.Scan() {
+		line++
+		if line == 1 {
+			continue
+		}
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("synth: %s line %d: want 4 fields, got %d", path, line, len(parts))
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s line %d: %w", path, line, err)
+		}
+		pop, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s line %d: %w", path, line, err)
+		}
+		g, err := geom.ParseWKT(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s line %d: %w", path, line, err)
+		}
+		poly, ok := g.(geom.Polygon)
+		if !ok {
+			return nil, fmt.Errorf("synth: %s line %d: zone geometry must be a polygon", path, line)
+		}
+		out = append(out, Zone{
+			ID: id, Code: parts[1], Label: UALabel(parts[1]),
+			PopDensity: pop, Geom: poly,
+		})
+	}
+	return out, sc.Err()
+}

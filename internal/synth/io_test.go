@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gisnav/internal/geom"
+)
+
+func TestOSMFileRoundTrip(t *testing.T) {
+	tr := NewTerrain(91, testRegion())
+	feats := GenerateOSM(tr, 5)
+	path := filepath.Join(t.TempDir(), "osm.tsv")
+	if err := WriteOSMFile(path, feats); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOSMFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(feats) {
+		t.Fatalf("roundtrip %d features, want %d", len(got), len(feats))
+	}
+	for i := range feats {
+		if got[i].ID != feats[i].ID || got[i].Class != feats[i].Class || got[i].Name != feats[i].Name {
+			t.Fatalf("feature %d metadata mismatch", i)
+		}
+		if got[i].Geom.WKT() != feats[i].Geom.WKT() {
+			t.Fatalf("feature %d geometry mismatch", i)
+		}
+	}
+}
+
+func TestUAFileRoundTrip(t *testing.T) {
+	tr := NewTerrain(93, testRegion())
+	zones := GenerateUrbanAtlas(tr, nil, 8, 8, 2)
+	path := filepath.Join(t.TempDir(), "ua.tsv")
+	if err := WriteUAFile(path, zones); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUAFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(zones) {
+		t.Fatalf("roundtrip %d zones, want %d", len(got), len(zones))
+	}
+	for i := range zones {
+		if got[i].ID != zones[i].ID || got[i].Code != zones[i].Code {
+			t.Fatalf("zone %d metadata mismatch", i)
+		}
+		if got[i].Label != zones[i].Label {
+			t.Fatalf("zone %d label not rederived", i)
+		}
+		if got[i].PopDensity != zones[i].PopDensity {
+			t.Fatalf("zone %d density mismatch", i)
+		}
+		if got[i].Geom.Area() != zones[i].Geom.Area() {
+			t.Fatalf("zone %d geometry mismatch", i)
+		}
+	}
+}
+
+func TestVectorFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadOSMFile(filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.tsv")
+	if err := os.WriteFile(bad, []byte("header\nnot-enough-fields\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOSMFile(bad); err == nil {
+		t.Fatal("short row should error")
+	}
+	if _, err := ReadUAFile(bad); err == nil {
+		t.Fatal("short UA row should error")
+	}
+	badWKT := filepath.Join(dir, "badwkt.tsv")
+	if err := os.WriteFile(badWKT, []byte("h\n1\tmotorway\tA1\tNOTWKT (0 0)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOSMFile(badWKT); err == nil {
+		t.Fatal("bad wkt should error")
+	}
+	// UA zone with non-polygon geometry.
+	badZone := filepath.Join(dir, "badzone.tsv")
+	if err := os.WriteFile(badZone, []byte("h\n1\t11100\t5\tPOINT (1 2)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadUAFile(badZone); err == nil {
+		t.Fatal("non-polygon zone should error")
+	}
+	_ = geom.Point{} // keep import if cases above change
+}

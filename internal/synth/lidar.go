@@ -1,0 +1,189 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gisnav/internal/geom"
+	"gisnav/internal/las"
+)
+
+// Standard quantisation for generated tiles: centimetre grid anchored at the
+// region origin, matching AHN2 practice.
+const (
+	TileScale = 0.01
+)
+
+// TileSpec describes one LIDAR tile to generate.
+type TileSpec struct {
+	Env      geom.Envelope
+	Density  float64 // points per square metre
+	Seed     uint64
+	SourceID uint16 // flight line id recorded in PointSourceID
+}
+
+// GenerateTile samples the terrain over the tile extent in airborne scan
+// order: the scanner sweeps X within successive Y swaths, alternating
+// direction. File order therefore exhibits the local spatial clustering the
+// paper's imprints exploit (§2.1.1).
+func GenerateTile(t *Terrain, spec TileSpec) []las.Point {
+	if spec.Density <= 0 || spec.Env.IsEmpty() {
+		return nil
+	}
+	step := 1 / math.Sqrt(spec.Density)
+	rng := NewRNG(spec.Seed)
+	var pts []las.Point
+	gps := float64(spec.Seed%100000) + 1e5
+	swath := 0
+	for y := spec.Env.MinY + step/2; y < spec.Env.MaxY; y += step {
+		xs := scanXs(spec.Env, step, swath)
+		swath++
+		for _, x := range xs {
+			jx := x + (rng.Float64()-0.5)*step*0.6
+			jy := y + (rng.Float64()-0.5)*step*0.6
+			if jx < spec.Env.MinX || jx >= spec.Env.MaxX || jy < spec.Env.MinY || jy >= spec.Env.MaxY {
+				jx, jy = x, y
+			}
+			s := t.At(jx, jy)
+			gps += 5e-5
+			scanAngle := int8((jx - spec.Env.Center().X) / spec.Env.Width() * 40)
+			base := las.Point{
+				X: jx, Y: jy, Z: s.Z,
+				Intensity:      intensityFor(s, rng),
+				ReturnNumber:   1,
+				NumReturns:     1,
+				ScanDirection:  swath%2 == 0,
+				EdgeOfFlight:   len(pts) == 0,
+				Classification: s.Class,
+				ScanAngleRank:  scanAngle,
+				UserData:       uint8(swath % 256),
+				PointSourceID:  spec.SourceID,
+				GPSTime:        gps,
+			}
+			base.Red, base.Green, base.Blue = colourFor(s)
+			// Vegetation yields a second (ground) return under the canopy.
+			if s.CanopyHeight > 0 && rng.Float64() < 0.6 {
+				base.NumReturns = 2
+				pts = append(pts, base)
+				groundRet := base
+				groundRet.Z = s.Z - s.CanopyHeight
+				groundRet.ReturnNumber = 2
+				groundRet.Classification = ClassGround
+				groundRet.Intensity /= 2
+				groundRet.GPSTime = gps // same pulse
+				pts = append(pts, groundRet)
+				continue
+			}
+			pts = append(pts, base)
+		}
+	}
+	return pts
+}
+
+// scanXs returns the X sample positions of one swath, direction alternating.
+func scanXs(env geom.Envelope, step float64, swath int) []float64 {
+	var xs []float64
+	for x := env.MinX + step/2; x < env.MaxX; x += step {
+		xs = append(xs, x)
+	}
+	if swath%2 == 1 {
+		for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+	}
+	return xs
+}
+
+// intensityFor models return intensity by surface type.
+func intensityFor(s Surface, rng *RNG) uint16 {
+	var base float64
+	switch s.Class {
+	case ClassWater:
+		base = 80
+	case ClassBuilding:
+		base = 900
+	case ClassRoadSurface:
+		base = 400
+	case ClassHighVeg, ClassMedVeg, ClassLowVeg:
+		base = 300
+	default:
+		base = 600
+	}
+	v := base + rng.Float64()*120
+	return uint16(v)
+}
+
+// colourFor assigns an orthophoto-like RGB per class.
+func colourFor(s Surface) (r, g, b uint16) {
+	switch s.Class {
+	case ClassWater:
+		return 15 << 8, 60 << 8, 120 << 8
+	case ClassBuilding:
+		return 150 << 8, 90 << 8, 70 << 8
+	case ClassRoadSurface:
+		return 90 << 8, 90 << 8, 95 << 8
+	case ClassHighVeg:
+		return 30 << 8, 110 << 8, 40 << 8
+	case ClassMedVeg, ClassLowVeg:
+		return 80 << 8, 150 << 8, 60 << 8
+	default:
+		return 120 << 8, 130 << 8, 90 << 8
+	}
+}
+
+// Dataset describes a generated multi-tile LIDAR archive on disk — the stand-
+// in for the 60,185-file AHN2 distribution (§2.2).
+type Dataset struct {
+	Dir   string
+	Files []string
+	// Points is the total generated point count.
+	Points int
+}
+
+// WriteTiles generates tilesX × tilesY tiles covering region at the given
+// density and writes one file per tile into dir. compressed selects LAZ-sim
+// (".laz") over raw LAS (".las"). format is the LAS point format (0–3).
+func WriteTiles(t *Terrain, region geom.Envelope, tilesX, tilesY int, density float64,
+	format uint8, compressed bool, seed uint64, dir string) (Dataset, error) {
+	ds := Dataset{Dir: dir}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ds, err
+	}
+	tw := region.Width() / float64(tilesX)
+	th := region.Height() / float64(tilesY)
+	offX, offY := region.MinX, region.MinY
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			env := geom.NewEnvelope(
+				region.MinX+float64(tx)*tw, region.MinY+float64(ty)*th,
+				region.MinX+float64(tx+1)*tw, region.MinY+float64(ty+1)*th,
+			)
+			spec := TileSpec{
+				Env: env, Density: density,
+				Seed:     splitmix64(seed ^ uint64(ty*tilesX+tx)),
+				SourceID: uint16(1000 + ty*tilesX + tx),
+			}
+			pts := GenerateTile(t, spec)
+			ds.Points += len(pts)
+			ext := ".las"
+			if compressed {
+				ext = ".laz"
+			}
+			name := fmt.Sprintf("tile_%03d_%03d%s", tx, ty, ext)
+			path := filepath.Join(dir, name)
+			var err error
+			if compressed {
+				err = las.WriteLAZFile(path, format, TileScale, TileScale, TileScale, offX, offY, 0, pts)
+			} else {
+				err = las.WriteFile(path, format, TileScale, TileScale, TileScale, offX, offY, 0, pts)
+			}
+			if err != nil {
+				return ds, fmt.Errorf("synth: writing %s: %w", name, err)
+			}
+			ds.Files = append(ds.Files, path)
+		}
+	}
+	return ds, nil
+}

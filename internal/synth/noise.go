@@ -1,0 +1,42 @@
+package synth
+
+import "math"
+
+// smoothstep is the C1 fade curve used for lattice interpolation.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// ValueNoise returns deterministic lattice value noise in [0, 1) at (x, y)
+// for the given seed. Frequency is controlled by pre-scaling x and y.
+func ValueNoise(seed uint64, x, y float64) float64 {
+	ix := int64(math.Floor(x))
+	iy := int64(math.Floor(y))
+	fx := x - math.Floor(x)
+	fy := y - math.Floor(y)
+	v00 := hashUnit(seed, ix, iy)
+	v10 := hashUnit(seed, ix+1, iy)
+	v01 := hashUnit(seed, ix, iy+1)
+	v11 := hashUnit(seed, ix+1, iy+1)
+	sx := smoothstep(fx)
+	sy := smoothstep(fy)
+	top := v00 + (v10-v00)*sx
+	bot := v01 + (v11-v01)*sx
+	return top + (bot-top)*sy
+}
+
+// FBM sums octaves of value noise (fractal Brownian motion), returning a
+// value in [0, 1). Each octave doubles frequency and halves amplitude.
+func FBM(seed uint64, x, y float64, octaves int) float64 {
+	var sum, norm float64
+	amp := 1.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * ValueNoise(seed+uint64(o)*0x9E37, x*freq, y*freq)
+		norm += amp
+		amp /= 2
+		freq *= 2
+	}
+	if norm == 0 {
+		return 0
+	}
+	return sum / norm
+}

@@ -1,0 +1,159 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"gisnav/internal/geom"
+)
+
+// OSM-like feature classes emitted by the generator. Road classes follow the
+// OSM highway tagging scheme; waterways and POIs get their own classes.
+const (
+	ClassMotorway    = "motorway"
+	ClassPrimary     = "primary"
+	ClassSecondary   = "secondary"
+	ClassResidential = "residential"
+	ClassRiver       = "river"
+	ClassCanal       = "canal"
+	ClassPOI         = "poi"
+)
+
+// Feature is one OSM-like vector feature: a classed, named geometry.
+type Feature struct {
+	ID    int64
+	Class string
+	Name  string
+	Geom  geom.Geometry
+}
+
+// GenerateOSM builds a deterministic road/water/POI network over the region:
+// a motorway ring around the urban core with four radial motorways, a
+// primary grid, residential in-fill streets, one meandering river, canals
+// matching the terrain's canal grid, and labelled POIs.
+func GenerateOSM(t *Terrain, seed uint64) []Feature {
+	region := t.Region
+	rng := NewRNG(seed)
+	var out []Feature
+	id := int64(1)
+	add := func(class, name string, g geom.Geometry) {
+		out = append(out, Feature{ID: id, Class: class, Name: name, Geom: g})
+		id++
+	}
+
+	c := region.Center()
+	w, h := region.Width(), region.Height()
+
+	// Motorway ring: an octagon around the urban core.
+	ringR := math.Min(w, h) * 0.28
+	var ring []geom.Point
+	for i := 0; i <= 8; i++ {
+		a := 2 * math.Pi * float64(i) / 8
+		ring = append(ring, geom.Point{
+			X: c.X + ringR*math.Cos(a),
+			Y: c.Y + ringR*math.Sin(a),
+		})
+	}
+	add(ClassMotorway, "A10 Ring", geom.LineString{Points: ring})
+
+	// Radial motorways from the ring to the region edges.
+	radials := []struct {
+		name string
+		to   geom.Point
+	}{
+		{"A1", geom.Point{X: region.MaxX, Y: c.Y}},
+		{"A2", geom.Point{X: c.X, Y: region.MinY}},
+		{"A4", geom.Point{X: region.MinX, Y: c.Y}},
+		{"A8", geom.Point{X: c.X, Y: region.MaxY}},
+	}
+	for _, r := range radials {
+		dir := math.Atan2(r.to.Y-c.Y, r.to.X-c.X)
+		from := geom.Point{X: c.X + ringR*math.Cos(dir), Y: c.Y + ringR*math.Sin(dir)}
+		add(ClassMotorway, r.name, geom.LineString{Points: []geom.Point{from, r.to}})
+	}
+
+	// Primary grid: lines every ~1/8 of the extent across the whole region.
+	for i := 1; i < 8; i++ {
+		x := region.MinX + w*float64(i)/8
+		add(ClassPrimary, fmt.Sprintf("N%d", 200+i), geom.LineString{Points: []geom.Point{
+			{X: x, Y: region.MinY}, {X: x, Y: region.MaxY},
+		}})
+		y := region.MinY + h*float64(i)/8
+		add(ClassPrimary, fmt.Sprintf("N%d", 300+i), geom.LineString{Points: []geom.Point{
+			{X: region.MinX, Y: y}, {X: region.MaxX, Y: y},
+		}})
+	}
+
+	// Residential streets: short random segments inside the urban core.
+	core := t.urbanCore()
+	for i := 0; i < 40; i++ {
+		x0 := rng.Range(core.MinX, core.MaxX)
+		y0 := rng.Range(core.MinY, core.MaxY)
+		length := rng.Range(60, 240)
+		var x1, y1 float64
+		if rng.Intn(2) == 0 {
+			x1, y1 = x0+length, y0
+		} else {
+			x1, y1 = x0, y0+length
+		}
+		add(ClassResidential, fmt.Sprintf("Straat %d", i+1), geom.LineString{Points: []geom.Point{
+			{X: x0, Y: y0}, {X: x1, Y: y1},
+		}})
+	}
+
+	// River: meanders west→east, offset by noise.
+	var river []geom.Point
+	steps := 40
+	for i := 0; i <= steps; i++ {
+		x := region.MinX + w*float64(i)/float64(steps)
+		off := (ValueNoise(seed^0x51BE7, float64(i)/6, 0) - 0.5) * h * 0.25
+		river = append(river, geom.Point{X: x, Y: c.Y + off})
+	}
+	add(ClassRiver, "Oude Rijn", geom.LineString{Points: river})
+
+	// Canals: one line per terrain canal axis.
+	s := t.canalSpacing()
+	n := 0
+	for x := region.MinX; x+canalWidth/2 <= region.MaxX; x += s {
+		add(ClassCanal, fmt.Sprintf("Kanaal %c", 'A'+n%26), geom.LineString{Points: []geom.Point{
+			{X: x + canalWidth/2, Y: region.MinY}, {X: x + canalWidth/2, Y: region.MaxY},
+		}})
+		n++
+	}
+	for y := region.MinY; y+canalWidth/2 <= region.MaxY; y += s {
+		add(ClassCanal, fmt.Sprintf("Kanaal %c", 'A'+n%26), geom.LineString{Points: []geom.Point{
+			{X: region.MinX, Y: y + canalWidth/2}, {X: region.MaxX, Y: y + canalWidth/2},
+		}})
+		n++
+	}
+
+	// POIs: stations, schools, windmills scattered with urban bias.
+	kinds := []string{"station", "school", "windmill", "hospital", "museum"}
+	for i := 0; i < 60; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		var x, y float64
+		if rng.Float64() < 0.6 {
+			x = rng.Range(core.MinX, core.MaxX)
+			y = rng.Range(core.MinY, core.MaxY)
+		} else {
+			x = rng.Range(region.MinX, region.MaxX)
+			y = rng.Range(region.MinY, region.MaxY)
+		}
+		add(ClassPOI, fmt.Sprintf("%s %d", kind, i+1), geom.Point{X: x, Y: y})
+	}
+	return out
+}
+
+// Motorways filters the motorway features out of an OSM set; Urban Atlas
+// generation and the scenario-2 queries both need them.
+func Motorways(features []Feature) []geom.LineString {
+	var out []geom.LineString
+	for _, f := range features {
+		if f.Class == ClassMotorway {
+			if l, ok := f.Geom.(geom.LineString); ok {
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}

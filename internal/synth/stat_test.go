@@ -1,0 +1,12 @@
+package synth
+
+import "os"
+
+// statFile returns the size of a file; split out for test reuse.
+func statFile(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"math"
+
+	"gisnav/internal/geom"
+)
+
+// LAS classification codes (ASPRS standard) used by the terrain model.
+const (
+	ClassGround        = 2
+	ClassLowVeg        = 3
+	ClassMedVeg        = 4
+	ClassHighVeg       = 5
+	ClassBuilding      = 6
+	ClassWater         = 9
+	ClassRoadSurface   = 11
+	ClassWireConductor = 14
+)
+
+// Terrain is the deterministic "mini Netherlands" surface model the LIDAR
+// generator samples: gently rolling polder ground, a central urban core with
+// block buildings, tree belts, a canal grid at negative elevation and dune
+// ridges along the western edge. It is scale-free: the same seed yields the
+// same surface at any extent.
+type Terrain struct {
+	seed uint64
+	// Region is the nominal full extent of the model; urban core and dunes
+	// are placed relative to it.
+	Region geom.Envelope
+}
+
+// NewTerrain builds a terrain model over region.
+func NewTerrain(seed uint64, region geom.Envelope) *Terrain {
+	return &Terrain{seed: seed, Region: region}
+}
+
+// Surface is a sampled surface point: elevation plus land classification.
+type Surface struct {
+	Z     float64
+	Class uint8
+	// CanopyHeight is nonzero under vegetation: the height of the first
+	// return above ground.
+	CanopyHeight float64
+	// BuildingHeight is nonzero on building footprints.
+	BuildingHeight float64
+}
+
+// urbanCore returns the envelope of the dense city centre (middle ~30%).
+func (t *Terrain) urbanCore() geom.Envelope {
+	w, h := t.Region.Width(), t.Region.Height()
+	c := t.Region.Center()
+	return geom.NewEnvelope(c.X-w*0.15, c.Y-h*0.15, c.X+w*0.15, c.Y+h*0.15)
+}
+
+// canalSpacing returns the canal grid period in model units.
+func (t *Terrain) canalSpacing() float64 {
+	s := math.Min(t.Region.Width(), t.Region.Height()) / 8
+	if s <= 0 {
+		s = 1
+	}
+	return s
+}
+
+const canalWidth = 14.0 // metres
+
+// nearCanal reports whether (x, y) falls on the canal grid.
+func (t *Terrain) nearCanal(x, y float64) bool {
+	s := t.canalSpacing()
+	dx := math.Mod(x-t.Region.MinX, s)
+	dy := math.Mod(y-t.Region.MinY, s)
+	if dx < 0 {
+		dx += s
+	}
+	if dy < 0 {
+		dy += s
+	}
+	return dx < canalWidth || dy < canalWidth
+}
+
+// At samples the surface at (x, y).
+func (t *Terrain) At(x, y float64) Surface {
+	// Base ground: rolling fBm between -1 and +9 m NAP-ish.
+	nx := (x - t.Region.MinX) / 900
+	ny := (y - t.Region.MinY) / 900
+	ground := FBM(t.seed, nx, ny, 4)*10 - 1
+
+	// Dunes: a high-frequency ridge along the western 8% of the region.
+	duneBand := t.Region.MinX + t.Region.Width()*0.08
+	if x < duneBand && t.Region.Width() > 0 {
+		f := (duneBand - x) / (t.Region.Width() * 0.08)
+		ground += f * (8 + 10*ValueNoise(t.seed^0xD0E5, nx*6, ny*6))
+	}
+
+	// Canals override everything: water at constant level below ground.
+	if t.nearCanal(x, y) {
+		return Surface{Z: -1.8, Class: ClassWater}
+	}
+
+	// Urban core: block buildings on a 60 m street grid.
+	if core := t.urbanCore(); core.ContainsPoint(x, y) {
+		const block = 60.0
+		bx := int64(math.Floor((x - core.MinX) / block))
+		by := int64(math.Floor((y - core.MinY) / block))
+		// Street margins: outer 8 m of each block.
+		fx := math.Mod(x-core.MinX, block)
+		fy := math.Mod(y-core.MinY, block)
+		onStreet := fx < 8 || fy < 8
+		if onStreet {
+			return Surface{Z: ground, Class: ClassRoadSurface}
+		}
+		// ~70% of blocks carry a building.
+		h := hashUnit(t.seed^0xB11D, bx, by)
+		if h < 0.7 {
+			height := 6 + h*30 // 6..27 m
+			return Surface{Z: ground + height, Class: ClassBuilding, BuildingHeight: height}
+		}
+		// Courtyard / park block.
+		return Surface{Z: ground, Class: ClassLowVeg}
+	}
+
+	// Vegetation belts from a second noise field.
+	veg := FBM(t.seed^0x7E6E, nx*3, ny*3, 3)
+	switch {
+	case veg > 0.62:
+		canopy := 4 + 14*ValueNoise(t.seed^0xCA11, nx*10, ny*10)
+		return Surface{Z: ground + canopy, Class: ClassHighVeg, CanopyHeight: canopy}
+	case veg > 0.55:
+		canopy := 1 + 2*ValueNoise(t.seed^0xCA12, nx*10, ny*10)
+		return Surface{Z: ground + canopy, Class: ClassMedVeg, CanopyHeight: canopy}
+	default:
+		return Surface{Z: ground, Class: ClassGround}
+	}
+}
+
+// GroundAt returns the bare-earth elevation at (x, y) (no canopy or
+// buildings), used for multi-return generation.
+func (t *Terrain) GroundAt(x, y float64) float64 {
+	s := t.At(x, y)
+	return s.Z - s.CanopyHeight - s.BuildingHeight
+}

@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"math"
+
+	"gisnav/internal/geom"
+)
+
+// Urban Atlas nomenclature codes used by the generator. Codes and labels
+// follow the EEA Urban Atlas 2012 class list; 12210 is the "fast transit
+// road" class the paper's scenario-2 queries filter on (§4.2).
+const (
+	UAContinuousUrban    = "11100"
+	UADiscontinuousUrban = "11210"
+	UAFastTransit        = "12210"
+	UAGreenUrban         = "14100"
+	UAArable             = "21000"
+	UAForest             = "31000"
+	UAWater              = "50000"
+)
+
+// UALabel maps a nomenclature code to its official label.
+func UALabel(code string) string {
+	switch code {
+	case UAContinuousUrban:
+		return "Continuous urban fabric (S.L. > 80%)"
+	case UADiscontinuousUrban:
+		return "Discontinuous dense urban fabric (S.L. 50% - 80%)"
+	case UAFastTransit:
+		return "Fast transit roads and associated land"
+	case UAGreenUrban:
+		return "Green urban areas"
+	case UAArable:
+		return "Arable land (annual crops)"
+	case UAForest:
+		return "Forests"
+	case UAWater:
+		return "Water"
+	default:
+		return "Unknown"
+	}
+}
+
+// Zone is one Urban-Atlas-like land-use polygon.
+type Zone struct {
+	ID    int
+	Code  string
+	Label string
+	Geom  geom.Polygon
+	// PopDensity is a synthetic inhabitants/km² figure, a thematic
+	// attribute for ad-hoc queries.
+	PopDensity float64
+}
+
+// GenerateUrbanAtlas partitions the region into a cellsX × cellsY coverage
+// and assigns each cell a UA class from the terrain and the motorway
+// network: cells within corridorWidth of a motorway become fast-transit
+// land, canal/water cells become water, the urban core splits into
+// continuous/discontinuous fabric and green areas, and the countryside
+// splits into arable land and forest by the vegetation noise field.
+func GenerateUrbanAtlas(t *Terrain, motorways []geom.LineString, cellsX, cellsY int, seed uint64) []Zone {
+	region := t.Region
+	const corridorWidth = 120.0
+	cw := region.Width() / float64(cellsX)
+	ch := region.Height() / float64(cellsY)
+	var zones []Zone
+	id := 1
+	for cy := 0; cy < cellsY; cy++ {
+		for cx := 0; cx < cellsX; cx++ {
+			env := geom.NewEnvelope(
+				region.MinX+float64(cx)*cw, region.MinY+float64(cy)*ch,
+				region.MinX+float64(cx+1)*cw, region.MinY+float64(cy+1)*ch,
+			)
+			centre := env.Center()
+			code := t.classifyUACell(centre, motorways, corridorWidth, seed)
+			pop := popDensityFor(code, seed, int64(cx), int64(cy))
+			zones = append(zones, Zone{
+				ID: id, Code: code, Label: UALabel(code),
+				Geom: env.ToPolygon(), PopDensity: pop,
+			})
+			id++
+		}
+	}
+	return zones
+}
+
+// classifyUACell picks the UA code of a cell by its centre point.
+func (t *Terrain) classifyUACell(c geom.Point, motorways []geom.LineString, corridor float64, seed uint64) string {
+	for _, m := range motorways {
+		if geom.DWithin(c.X, c.Y, m, corridor) {
+			return UAFastTransit
+		}
+	}
+	if t.nearCanal(c.X, c.Y) {
+		return UAWater
+	}
+	if core := t.urbanCore(); core.ContainsPoint(c.X, c.Y) {
+		// Denser fabric towards the centre.
+		cc := core.Center()
+		d := math.Hypot(c.X-cc.X, c.Y-cc.Y)
+		r := math.Hypot(core.Width()/2, core.Height()/2)
+		switch {
+		case d < r*0.4:
+			return UAContinuousUrban
+		case hashUnit(seed^0x9A4E, int64(c.X), int64(c.Y)) < 0.2:
+			return UAGreenUrban
+		default:
+			return UADiscontinuousUrban
+		}
+	}
+	s := t.At(c.X, c.Y)
+	switch s.Class {
+	case ClassHighVeg, ClassMedVeg:
+		return UAForest
+	case ClassWater:
+		return UAWater
+	default:
+		return UAArable
+	}
+}
+
+// popDensityFor synthesises a plausible population density per class.
+func popDensityFor(code string, seed uint64, cx, cy int64) float64 {
+	u := hashUnit(seed^0x90B0, cx, cy)
+	switch code {
+	case UAContinuousUrban:
+		return 8000 + u*7000
+	case UADiscontinuousUrban:
+		return 2500 + u*3000
+	case UAGreenUrban:
+		return 100 + u*300
+	case UAFastTransit:
+		return u * 50
+	case UAArable:
+		return 20 + u*60
+	case UAForest:
+		return u * 15
+	default:
+		return 0
+	}
+}

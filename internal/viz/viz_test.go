@@ -1,0 +1,175 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gisnav/internal/geom"
+)
+
+func TestCanvasTransformAndPixels(t *testing.T) {
+	c := NewCanvas(100, 100, geom.NewEnvelope(0, 0, 10, 10), White)
+	px, py := c.ToPixel(0, 10) // top-left world corner
+	if px != 0 || py != 0 {
+		t.Fatalf("top-left = (%d,%d)", px, py)
+	}
+	px, py = c.ToPixel(5, 5)
+	if px != 50 || py != 50 {
+		t.Fatalf("centre = (%d,%d)", px, py)
+	}
+	c.SetPixel(3, 4, Color{1, 2, 3})
+	if c.At(3, 4) != (Color{1, 2, 3}) {
+		t.Fatal("set/get mismatch")
+	}
+	// Out-of-range access is inert.
+	c.SetPixel(-1, 0, Black)
+	c.SetPixel(1000, 1000, Black)
+	if c.At(-5, -5) != Black {
+		t.Fatal("out of range read should be black")
+	}
+}
+
+func TestDrawPoint(t *testing.T) {
+	c := NewCanvas(50, 50, geom.NewEnvelope(0, 0, 50, 50), Black)
+	c.DrawPoint(25, 25, 2, White)
+	px, py := c.ToPixel(25, 25)
+	if c.At(px, py) != White {
+		t.Fatal("point centre not drawn")
+	}
+	if c.At(px+2, py) != White {
+		t.Fatal("radius not applied")
+	}
+	if c.At(px+4, py) == White {
+		t.Fatal("radius too large")
+	}
+}
+
+func TestDrawSegment(t *testing.T) {
+	c := NewCanvas(20, 20, geom.NewEnvelope(0, 0, 20, 20), Black)
+	c.DrawSegment(0.5, 10, 19.5, 10, 1, White)
+	lit := 0
+	for px := 0; px < 20; px++ {
+		py := 9 // y=10 maps near the middle
+		if c.At(px, py) == White || c.At(px, py+1) == White {
+			lit++
+		}
+	}
+	if lit < 15 {
+		t.Fatalf("horizontal line only lit %d columns", lit)
+	}
+	// Wide segment covers more rows.
+	c2 := NewCanvas(20, 20, geom.NewEnvelope(0, 0, 20, 20), Black)
+	c2.DrawSegment(0.5, 10, 19.5, 10, 5, White)
+	wideLit := 0
+	for py := 0; py < 20; py++ {
+		if c2.At(10, py) == White {
+			wideLit++
+		}
+	}
+	if wideLit < 4 {
+		t.Fatalf("wide line lit %d rows", wideLit)
+	}
+}
+
+func TestDrawLineString(t *testing.T) {
+	c := NewCanvas(40, 40, geom.NewEnvelope(0, 0, 40, 40), Black)
+	l := geom.LineString{Points: []geom.Point{{X: 5, Y: 5}, {X: 35, Y: 5}, {X: 35, Y: 35}}}
+	c.DrawLineString(l, 1, White)
+	px, py := c.ToPixel(20, 5)
+	found := c.At(px, py) == White || c.At(px, py-1) == White || c.At(px, py+1) == White
+	if !found {
+		t.Fatal("polyline first leg missing")
+	}
+}
+
+func TestFillPolygon(t *testing.T) {
+	c := NewCanvas(100, 100, geom.NewEnvelope(0, 0, 100, 100), Black)
+	p := geom.Polygon{
+		Shell: geom.Ring{Points: []geom.Point{{X: 10, Y: 10}, {X: 90, Y: 10}, {X: 90, Y: 90}, {X: 10, Y: 90}}},
+		Holes: []geom.Ring{{Points: []geom.Point{{X: 40, Y: 40}, {X: 60, Y: 40}, {X: 60, Y: 60}, {X: 40, Y: 60}}}},
+	}
+	c.FillPolygon(p, White)
+	// Inside solid part.
+	px, py := c.ToPixel(20, 20)
+	if c.At(px, py) != White {
+		t.Fatal("interior not filled")
+	}
+	// Inside hole.
+	px, py = c.ToPixel(50, 50)
+	if c.At(px, py) == White {
+		t.Fatal("hole should not be filled")
+	}
+	// Outside.
+	px, py = c.ToPixel(5, 5)
+	if c.At(px, py) == White {
+		t.Fatal("exterior filled")
+	}
+	// Degenerate polygon is inert.
+	c.FillPolygon(geom.Polygon{}, White)
+}
+
+func TestWritePPM(t *testing.T) {
+	c := NewCanvas(4, 3, geom.NewEnvelope(0, 0, 4, 3), Color{9, 8, 7})
+	var buf bytes.Buffer
+	if err := c.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P6\n4 3\n255\n") {
+		t.Fatalf("header = %q", s[:20])
+	}
+	if buf.Len() != len("P6\n4 3\n255\n")+3*4*3 {
+		t.Fatalf("payload size = %d", buf.Len())
+	}
+}
+
+func TestSavePPM(t *testing.T) {
+	c := NewCanvas(2, 2, geom.NewEnvelope(0, 0, 1, 1), White)
+	path := t.TempDir() + "/img.ppm"
+	if err := c.SavePPM(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SavePPM("/nonexistent/dir/img.ppm"); err == nil {
+		t.Fatal("bad path should error")
+	}
+}
+
+func TestElevationRamp(t *testing.T) {
+	low := ElevationRamp(0)
+	high := ElevationRamp(1)
+	if low.B <= low.R {
+		t.Fatal("low elevations should be blue-ish")
+	}
+	if high.R < 200 || high.G < 200 {
+		t.Fatal("high elevations should be light")
+	}
+	// Clamping.
+	if ElevationRamp(-5) != low || ElevationRamp(7) != high {
+		t.Fatal("ramp must clamp")
+	}
+	// Monotone brightness overall.
+	prev := -1
+	for i := 0; i <= 10; i++ {
+		c := ElevationRamp(float64(i) / 10)
+		bright := int(c.R) + int(c.G) + int(c.B)
+		if bright < prev-120 {
+			t.Fatalf("ramp brightness collapsed at %d", i)
+		}
+		prev = bright
+	}
+}
+
+func TestShade(t *testing.T) {
+	c := Color{100, 200, 50}
+	if Shade(c, 1) != c {
+		t.Fatal("full shade should keep colour")
+	}
+	if Shade(c, 0) != Black {
+		t.Fatal("zero shade should be black")
+	}
+	half := Shade(c, 0.5)
+	if half.R != 50 || half.G != 100 || half.B != 25 {
+		t.Fatalf("half shade = %+v", half)
+	}
+}
