@@ -367,6 +367,61 @@ func BenchmarkAblationBlockHilbert(b *testing.B) {
 	}
 }
 
+// --- E11: vectorized predicate & aggregate kernels -------------------------------------
+
+// BenchmarkFilterRowsKernel exercises the compiled-kernel thematic filter
+// (engine/kernels.go) end-to-end through FilterRows with a pooled result
+// vector: steady state is allocation-free apart from the one-time per-query
+// kernel compile.
+func BenchmarkFilterRowsKernel(b *testing.B) {
+	f := getFixture(b)
+	preds := []engine.ColumnPred{
+		{Column: engine.ColClassification, Op: engine.CmpEQ, Value: 6},
+		{Column: engine.ColZ, Op: engine.CmpGT, Value: 10},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := f.pc.FilterRows(nil, preds, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine.RecycleRows(rows)
+	}
+}
+
+// BenchmarkFilterRangeIndexedKernel runs the imprint-pruned range filter
+// through the block kernels over candidate ranges.
+func BenchmarkFilterRangeIndexedKernel(b *testing.B) {
+	f := getFixture(b)
+	lo, hi, _ := f.pc.Column(engine.ColZ).MinMax()
+	hi = lo + (hi-lo)*0.1
+	if _, err := f.pc.EnsureColumnImprint(engine.ColZ); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := f.pc.FilterRangeIndexed(engine.ColZ, lo, hi, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine.RecycleRows(rows)
+	}
+}
+
+// BenchmarkAggregateKernelSum measures the fused typed sum/min/max pass.
+func BenchmarkAggregateKernelSum(b *testing.B) {
+	f := getFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.pc.Aggregate(nil, engine.AggSum, engine.ColZ, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- substrate micro-benchmarks --------------------------------------------------------
 
 func BenchmarkLASDecode(b *testing.B) {

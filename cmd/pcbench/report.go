@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// jsonRecord is one measured arm of one experiment — the machine-readable
+// counterpart of a result-table row, so successive PRs can diff performance
+// trajectories (BENCH_filter.json style).
+type jsonRecord struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	Arm        string  `json:"arm"`
+	Rows       int     `json:"rows"`
+	Matches    int     `json:"matches"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup,omitempty"` // vs the experiment's baseline arm
+}
+
+// jsonReport accumulates records across experiments and serialises them.
+type jsonReport struct {
+	Dataset struct {
+		Points int    `json:"points"`
+		Scale  string `json:"scale"`
+	} `json:"dataset"`
+	GeneratedAt string       `json:"generated_at"`
+	Records     []jsonRecord `json:"records"`
+}
+
+// add appends one measurement.
+func (r *jsonReport) add(experiment, name, arm string, rows, matches int, d time.Duration, speedup float64) {
+	r.Records = append(r.Records, jsonRecord{
+		Experiment: experiment,
+		Name:       name,
+		Arm:        arm,
+		Rows:       rows,
+		Matches:    matches,
+		NsPerOp:    d.Nanoseconds(),
+		Speedup:    speedup,
+	})
+}
+
+// write dumps the report as indented JSON to path.
+func (r *jsonReport) write(path string) error {
+	r.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

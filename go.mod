@@ -1,0 +1,3 @@
+module gisnav
+
+go 1.24

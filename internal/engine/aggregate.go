@@ -40,6 +40,11 @@ func (f AggFunc) String() string {
 
 // Aggregate computes fn over the named column restricted to the selection
 // vector rows (nil means all rows). Count ignores the column name.
+//
+// Sum, min and max are fused into one typed pass per column type — no
+// per-value closure, no interface dispatch — for both the all-rows and the
+// selection-vector path. Accumulation stays in float64 in ascending row
+// order, so results are bit-identical to the naive widening loop.
 func (pc *PointCloud) Aggregate(rows []int, fn AggFunc, column string, ex *Explain) (float64, error) {
 	start := time.Now()
 	n := len(rows)
@@ -48,41 +53,16 @@ func (pc *PointCloud) Aggregate(rows []int, fn AggFunc, column string, ex *Expla
 		n = pc.Len()
 	}
 	if fn == AggCount {
-		ex.Add("aggregate", "count(*)", n, 1, time.Since(start))
+		if ex != nil {
+			ex.Add(opAggregate, "count(*)", n, 1, time.Since(start))
+		}
 		return float64(n), nil
 	}
 	col := pc.Column(column)
 	if col == nil {
 		return 0, fmt.Errorf("engine: unknown column %q", column)
 	}
-	var sum float64
-	lo, hi := math.Inf(1), math.Inf(-1)
-	acc := func(v float64) {
-		sum += v
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	if all {
-		for i := 0; i < pc.Len(); i++ {
-			acc(col.Value(i))
-		}
-	} else {
-		switch t := col.(type) {
-		case *colstore.F64Column:
-			vals := t.Values()
-			for _, r := range rows {
-				acc(vals[r])
-			}
-		default:
-			for _, r := range rows {
-				acc(col.Value(r))
-			}
-		}
-	}
+	sum, lo, hi := aggColumn(col, rows, all)
 	var res float64
 	switch fn {
 	case AggSum:
@@ -105,6 +85,83 @@ func (pc *PointCloud) Aggregate(rows []int, fn AggFunc, column string, ex *Expla
 	default:
 		return 0, fmt.Errorf("engine: unknown aggregate %d", fn)
 	}
-	ex.Add("aggregate", fmt.Sprintf("%s(%s)", fn, column), n, 1, time.Since(start))
+	if ex != nil {
+		ex.Add(opAggregate, fmt.Sprintf("%s(%s)", fn, column), n, 1, time.Since(start))
+	}
 	return res, nil
+}
+
+// aggColumn dispatches to the typed fused sum/min/max kernel for col's
+// concrete type. all selects the full-column path; otherwise rows drives a
+// selection-vector gather.
+func aggColumn(col colstore.Column, rows []int, all bool) (sum, lo, hi float64) {
+	switch t := col.(type) {
+	case *colstore.F64Column:
+		return aggVals(t.Values(), rows, all)
+	case *colstore.I64Column:
+		return aggVals(t.Values(), rows, all)
+	case *colstore.I32Column:
+		return aggVals(t.Values(), rows, all)
+	case *colstore.U16Column:
+		return aggVals(t.Values(), rows, all)
+	case *colstore.U8Column:
+		return aggVals(t.Values(), rows, all)
+	default:
+		lo, hi = math.Inf(1), math.Inf(-1)
+		if all {
+			for i, n := 0, col.Len(); i < n; i++ {
+				v := col.Value(i)
+				sum += v
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			return sum, lo, hi
+		}
+		for _, r := range rows {
+			v := col.Value(r)
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return sum, lo, hi
+	}
+}
+
+// aggVals is the monomorphic fused sum/min/max loop. Values widen to
+// float64 exactly as the generic Value() path does; for an empty input the
+// min/max stay at ±Inf (callers gate on n == 0 before using them).
+func aggVals[T number](vals []T, rows []int, all bool) (sum, lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	if all {
+		for _, t := range vals {
+			v := float64(t)
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return sum, lo, hi
+	}
+	for _, r := range rows {
+		v := float64(vals[r])
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return sum, lo, hi
 }

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gisnav/internal/colstore"
+)
+
+// naiveAggregate is the pre-kernel reference: a per-value closure over
+// float64-widened values, accumulation in ascending row order.
+func naiveAggregate(col colstore.Column, rows []int, all bool, fn AggFunc, n int) (float64, bool) {
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	acc := func(v float64) {
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if all {
+		for i := 0; i < col.Len(); i++ {
+			acc(col.Value(i))
+		}
+	} else {
+		for _, r := range rows {
+			acc(col.Value(r))
+		}
+	}
+	switch fn {
+	case AggSum:
+		return sum, true
+	case AggAvg:
+		if n == 0 {
+			return 0, false
+		}
+		return sum / float64(n), true
+	case AggMin:
+		if n == 0 {
+			return 0, false
+		}
+		return lo, true
+	case AggMax:
+		if n == 0 {
+			return 0, false
+		}
+		return hi, true
+	default:
+		return 0, false
+	}
+}
+
+// TestAggregateEmptySelection pins the empty-selection contract per
+// function: count and sum are defined, avg/min/max error.
+func TestAggregateEmptySelection(t *testing.T) {
+	pc := randomTestCloud(100, 20)
+	ex := &Explain{}
+	empty := []int{}
+	if n, err := pc.Aggregate(empty, AggCount, "", ex); err != nil || n != 0 {
+		t.Fatalf("count over empty = %v, %v", n, err)
+	}
+	if s, err := pc.Aggregate(empty, AggSum, ColZ, ex); err != nil || s != 0 {
+		t.Fatalf("sum over empty = %v, %v (want 0, nil)", s, err)
+	}
+	for _, fn := range []AggFunc{AggAvg, AggMin, AggMax} {
+		if _, err := pc.Aggregate(empty, fn, ColZ, ex); err == nil {
+			t.Fatalf("%s over empty selection must error", fn)
+		}
+	}
+}
+
+// TestAggregateAllRowsNonF64 exercises the all-rows kernel on every
+// non-float column type against the naive closure.
+func TestAggregateAllRowsNonF64(t *testing.T) {
+	pc := randomTestCloud(1500, 21)
+	ex := &Explain{}
+	for _, name := range []string{ColIntensity, ColClassification, ColScanAngle, ColWaveOffset, ColRed} {
+		col := pc.Column(name)
+		for _, fn := range []AggFunc{AggSum, AggAvg, AggMin, AggMax} {
+			got, err := pc.Aggregate(nil, fn, name, ex)
+			if err != nil {
+				t.Fatalf("%s(%s): %v", fn, name, err)
+			}
+			want, ok := naiveAggregate(col, nil, true, fn, pc.Len())
+			if !ok {
+				t.Fatalf("naive %s(%s) unexpectedly undefined", fn, name)
+			}
+			if got != want {
+				t.Fatalf("%s(%s) = %v, naive %v", fn, name, got, want)
+			}
+		}
+	}
+}
+
+// TestAggregateRandomizedEquivalence drives random selection vectors over
+// random columns and asserts bit-identical results between the typed
+// kernels and the naive closure arm.
+func TestAggregateRandomizedEquivalence(t *testing.T) {
+	pc := randomTestCloud(2500, 22)
+	rng := rand.New(rand.NewSource(23))
+	columns := []string{ColZ, ColGPSTime, ColIntensity, ColClassification, ColScanAngle, ColWaveOffset}
+	for trial := 0; trial < 100; trial++ {
+		name := columns[rng.Intn(len(columns))]
+		col := pc.Column(name)
+		var rows []int
+		all := rng.Intn(4) == 0
+		if !all {
+			for i := 0; i < pc.Len(); i++ {
+				if rng.Intn(3) == 0 {
+					rows = append(rows, i)
+				}
+			}
+			if rows == nil {
+				rows = []int{} // non-nil empty: the empty-selection path
+			}
+		}
+		n := len(rows)
+		if all {
+			n = pc.Len()
+		}
+		for _, fn := range []AggFunc{AggSum, AggAvg, AggMin, AggMax} {
+			var arg []int
+			if !all {
+				arg = rows
+			}
+			got, err := pc.Aggregate(arg, fn, name, ex0())
+			want, ok := naiveAggregate(col, rows, all, fn, n)
+			if !ok {
+				if err == nil {
+					t.Fatalf("%s(%s) over empty: kernel returned %v, naive errors", fn, name, got)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s(%s): %v", fn, name, err)
+			}
+			// Bit-identical, including NaN results from NaN-polluted float
+			// columns (sum propagates NaN in both arms).
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("%s(%s) = %v, naive %v", fn, name, got, want)
+			}
+		}
+	}
+}
+
+func ex0() *Explain { return &Explain{} }
+
+// TestAggregateNilExplain covers the nil-trace path used by the SQL
+// executor's kernel fast path.
+func TestAggregateNilExplain(t *testing.T) {
+	pc := randomTestCloud(50, 24)
+	if _, err := pc.Aggregate(nil, AggSum, ColIntensity, nil); err != nil {
+		t.Fatalf("nil explain: %v", err)
+	}
+}

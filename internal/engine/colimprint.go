@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"gisnav/internal/colstore"
+	"gisnav/internal/grid"
 	"gisnav/internal/imprints"
 )
 
@@ -38,9 +40,25 @@ func (pc *PointCloud) EnsureColumnImprint(name string) (*imprints.Imprints, erro
 	return im, nil
 }
 
+// columnImprintIfBuilt returns the named column's imprint only when it has
+// already been built — a cheap lookup used for selectivity hints, never
+// triggering an index build.
+func (pc *PointCloud) columnImprintIfBuilt(name string) *imprints.Imprints {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.colImprints[name]
+}
+
+// kernelParallelRows is the candidate-row count above which the indexed
+// range filter fans out across cores when pc.Parallel is set. It mirrors
+// grid.RefineAuto's crossover: below it, goroutine fan-out costs more than
+// it saves.
+const kernelParallelRows = 1 << 17
+
 // FilterRangeIndexed returns the rows whose column value lies in [lo, hi],
-// using the column's imprint for cacheline pruning followed by exact tests
-// within candidate ranges. The result equals a full-column scan.
+// using the column's imprint for cacheline pruning followed by an exact
+// range kernel over the candidate blocks. The result equals a full-column
+// scan. The returned vector is pooled; RecycleRows hands it back.
 func (pc *PointCloud) FilterRangeIndexed(name string, lo, hi float64, ex *Explain) ([]int, error) {
 	im, err := pc.EnsureColumnImprint(name)
 	if err != nil {
@@ -49,76 +67,76 @@ func (pc *PointCloud) FilterRangeIndexed(name string, lo, hi float64, ex *Explai
 	col := pc.Column(name)
 	start := time.Now()
 	cand := im.CandidateRanges(lo, hi)
-	ex.Add("imprints.filter", fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
-		pc.Len(), colstore.RangesLen(cand), time.Since(start))
+	if ex != nil {
+		ex.Add(opImprintsFilter, fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
+			pc.Len(), colstore.RangesLen(cand), time.Since(start))
+	}
 
 	start = time.Now()
-	var rows []int
-	switch t := col.(type) {
-	case *colstore.F64Column:
-		vals := t.Values()
+	k := CompileRange(col, name, lo, hi)
+	rows := getRowBuf(im.EstimateRows(lo, hi))
+	if pc.Parallel && colstore.RangesLen(cand) >= kernelParallelRows {
+		rows = filterBlocksParallel(k, cand, rows)
+	} else {
 		for _, r := range cand {
-			for i := r.Start; i < r.End; i++ {
-				if vals[i] >= lo && vals[i] <= hi {
-					rows = append(rows, i)
-				}
-			}
-		}
-	case *colstore.U16Column:
-		vals := t.Values()
-		for _, r := range cand {
-			for i := r.Start; i < r.End; i++ {
-				if v := float64(vals[i]); v >= lo && v <= hi {
-					rows = append(rows, i)
-				}
-			}
-		}
-	case *colstore.U8Column:
-		vals := t.Values()
-		for _, r := range cand {
-			for i := r.Start; i < r.End; i++ {
-				if v := float64(vals[i]); v >= lo && v <= hi {
-					rows = append(rows, i)
-				}
-			}
-		}
-	default:
-		for _, r := range cand {
-			for i := r.Start; i < r.End; i++ {
-				if v := col.Value(i); v >= lo && v <= hi {
-					rows = append(rows, i)
-				}
-			}
+			rows = k.FilterBlock(r.Start, r.End, rows)
 		}
 	}
-	ex.Add("refine.range", fmt.Sprintf("exact tests on %s", name),
-		colstore.RangesLen(cand), len(rows), time.Since(start))
+	if ex != nil {
+		ex.Add(opRefineRange, fmt.Sprintf("exact tests on %s", name),
+			colstore.RangesLen(cand), len(rows), time.Since(start))
+	}
 	return rows, nil
 }
 
-// FilterRangeScan is the unindexed comparison arm: a full-column scan.
+// filterBlocksParallel partitions the candidate ranges across workers, runs
+// the block kernel on each partition into its own pooled vector, and
+// concatenates the partial results in partition order. Partitions cover
+// disjoint, ascending row ranges, so the result is bit-identical to the
+// sequential pass.
+func filterBlocksParallel(k *Kernel, cand []colstore.Range, out []int) []int {
+	parts := grid.SplitRanges(cand, 0)
+	if len(parts) == 1 {
+		for _, r := range parts[0] {
+			out = k.FilterBlock(r.Start, r.End, out)
+		}
+		return out
+	}
+	results := make([][]int, len(parts))
+	var wg sync.WaitGroup
+	for w := range parts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := getRowBuf(colstore.RangesLen(parts[w]))
+			for _, r := range parts[w] {
+				buf = k.FilterBlock(r.Start, r.End, buf)
+			}
+			results[w] = buf
+		}(w)
+	}
+	wg.Wait()
+	for _, res := range results {
+		out = append(out, res...)
+		RecycleRows(res)
+	}
+	return out
+}
+
+// FilterRangeScan is the unindexed comparison arm: a full-column scan
+// through the same compiled range kernel, with no imprint pruning. The
+// returned vector is pooled; RecycleRows hands it back.
 func (pc *PointCloud) FilterRangeScan(name string, lo, hi float64, ex *Explain) ([]int, error) {
 	col := pc.Column(name)
 	if col == nil {
 		return nil, fmt.Errorf("engine: unknown column %q", name)
 	}
 	start := time.Now()
-	var rows []int
-	switch t := col.(type) {
-	case *colstore.F64Column:
-		for i, v := range t.Values() {
-			if v >= lo && v <= hi {
-				rows = append(rows, i)
-			}
-		}
-	default:
-		for i := 0; i < col.Len(); i++ {
-			if v := col.Value(i); v >= lo && v <= hi {
-				rows = append(rows, i)
-			}
-		}
+	k := CompileRange(col, name, lo, hi)
+	rows := k.FilterBlock(0, col.Len(), getRowBuf(col.Len()))
+	if ex != nil {
+		ex.Add(opScanRange, fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
+			pc.Len(), len(rows), time.Since(start))
 	}
-	ex.Add("scan.range", fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
-		pc.Len(), len(rows), time.Since(start))
 	return rows, nil
 }

@@ -100,7 +100,10 @@ func (db *DB) PointsNearFeatures(pc *PointCloud, vt *VectorTable, featRows []int
 	ex.Add("join.collect", fmt.Sprintf("%d feature geometries, buffer %g", len(featRows), d),
 		len(featRows), len(coll.Geometries), time.Since(start))
 	if len(coll.Geometries) == 0 {
-		return Selection{Explain: ex}
+		// Empty but non-nil: a nil Rows means "all rows" to FilterRows and
+		// the SQL executor, which would turn a no-feature join into a
+		// full-table match.
+		return Selection{Rows: []int{}, Explain: ex}
 	}
 	sel := pc.SelectRegion(region)
 	ex.Steps = append(ex.Steps, sel.Explain.Steps...)
@@ -118,7 +121,10 @@ func (db *DB) PointsInFeatures(pc *PointCloud, vt *VectorTable, featRows []int) 
 	ex.Add("join.collect", fmt.Sprintf("%d feature geometries", len(featRows)),
 		len(featRows), len(coll.Geometries), time.Since(start))
 	if len(coll.Geometries) == 0 {
-		return Selection{Explain: ex}
+		// Empty but non-nil: a nil Rows means "all rows" to FilterRows and
+		// the SQL executor, which would turn a no-feature join into a
+		// full-table match.
+		return Selection{Rows: []int{}, Explain: ex}
 	}
 	sel := pc.SelectRegion(region)
 	ex.Steps = append(ex.Steps, sel.Explain.Steps...)

@@ -6,6 +6,22 @@ import (
 	"time"
 )
 
+// Canonical operator names used in EXPLAIN traces. The filter and refine
+// operators all run through the compiled kernel layer (kernels.go); the
+// names identify the plan stage, not the implementation strategy.
+const (
+	opFilterColumn     = "filter.column"     // thematic predicate kernel over a selection
+	opImprintsFilter   = "imprints.filter"   // imprint candidate-range generation
+	opRefineRange      = "refine.range"      // exact range kernel over candidate blocks
+	opScanRange        = "scan.range"        // full-column range kernel (no index)
+	opAggregate        = "aggregate"         // typed aggregate kernel
+	opGridRefine       = "grid.refine"       // spatial refinement over candidates
+	opSelectRegion     = "select.region"     // spatial selection driver
+	opImprintsBuild    = "imprints.build"    // one-time index construction
+	opScanExhaustive   = "scan.exhaustive"   // no-index spatial baseline
+	opRefineExhaustive = "refine.exhaustive" // per-point refinement baseline
+)
+
 // Step is one operator's entry in an EXPLAIN trace.
 type Step struct {
 	Op       string

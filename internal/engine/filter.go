@@ -2,9 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"time"
-
-	"gisnav/internal/colstore"
 )
 
 // CmpOp is a comparison operator for thematic column predicates.
@@ -86,64 +85,85 @@ func (p ColumnPred) String() string {
 // FilterRows narrows a selection vector with thematic predicates, one
 // operator-at-a-time pass per predicate (the MonetDB execution style the
 // paper leans on, §2.1.1). A nil rows input means "all rows".
+//
+// The input slice is never modified: when preds is non-empty the result is
+// a fresh (pooled) selection vector, and when preds is empty the input is
+// returned unchanged (or an all-rows vector when rows is nil). Callers that
+// are done with a returned vector may hand it back via RecycleRows.
 func (pc *PointCloud) FilterRows(rows []int, preds []ColumnPred, ex *Explain) ([]int, error) {
-	if rows == nil {
-		rows = make([]int, pc.Len())
-		for i := range rows {
-			rows[i] = i
-		}
-	}
+	owned := false
 	for _, pred := range preds {
 		col := pc.Column(pred.Column)
 		if col == nil {
+			if owned {
+				RecycleRows(rows)
+			}
 			return nil, fmt.Errorf("engine: unknown column %q", pred.Column)
 		}
+		k := CompileFilter(col, pred)
 		start := time.Now()
-		in := len(rows)
-		rows = filterRowsOne(col, rows, pred)
-		ex.Add("filter.column", pred.String(), in, len(rows), time.Since(start))
+		switch {
+		case rows == nil:
+			// First predicate over the whole table: run the block kernel
+			// directly instead of materialising an identity vector.
+			rows = k.FilterBlock(0, pc.Len(), getRowBuf(pc.predHint(pred)))
+			owned = true
+			if ex != nil {
+				ex.Add(opFilterColumn, pred.String(), pc.Len(), len(rows), time.Since(start))
+			}
+		case !owned:
+			// Copy-on-first-write: the caller keeps its slice untouched.
+			in := len(rows)
+			rows = k.FilterSel(rows, getRowBuf(in))
+			owned = true
+			if ex != nil {
+				ex.Add(opFilterColumn, pred.String(), in, len(rows), time.Since(start))
+			}
+		default:
+			// We own the buffer now; compact in place (the write index
+			// never overtakes the read index).
+			in := len(rows)
+			rows = k.FilterSel(rows, rows[:0])
+			if ex != nil {
+				ex.Add(opFilterColumn, pred.String(), in, len(rows), time.Since(start))
+			}
+		}
+	}
+	if rows == nil {
+		// No predicates over a nil selection: all rows, as before.
+		rows = getRowBuf(pc.Len())
+		for i, n := 0, pc.Len(); i < n; i++ {
+			rows = append(rows, i)
+		}
 	}
 	return rows, nil
 }
 
-// filterRowsOne applies one predicate with typed fast paths.
-func filterRowsOne(col colstore.Column, rows []int, pred ColumnPred) []int {
-	out := rows[:0]
-	switch t := col.(type) {
-	case *colstore.F64Column:
-		vals := t.Values()
-		for _, r := range rows {
-			if pred.Matches(vals[r]) {
-				out = append(out, r)
-			}
-		}
-	case *colstore.U8Column:
-		vals := t.Values()
-		for _, r := range rows {
-			if pred.Matches(float64(vals[r])) {
-				out = append(out, r)
-			}
-		}
-	case *colstore.U16Column:
-		vals := t.Values()
-		for _, r := range rows {
-			if pred.Matches(float64(vals[r])) {
-				out = append(out, r)
-			}
-		}
-	case *colstore.I32Column:
-		vals := t.Values()
-		for _, r := range rows {
-			if pred.Matches(float64(vals[r])) {
-				out = append(out, r)
-			}
-		}
-	default:
-		for _, r := range rows {
-			if pred.Matches(col.Value(r)) {
-				out = append(out, r)
-			}
-		}
+// predHint estimates the result cardinality of pred for selection-vector
+// sizing. When the column already carries an imprint, the bin histogram
+// bounds how many values can fall inside the predicate's range; otherwise
+// the full column length is the only safe bound.
+func (pc *PointCloud) predHint(pred ColumnPred) int {
+	n := pc.Len()
+	im := pc.columnImprintIfBuilt(pred.Column)
+	if im == nil {
+		return n
 	}
-	return out
+	var lo, hi float64
+	switch pred.Op {
+	case CmpEQ:
+		lo, hi = pred.Value, pred.Value
+	case CmpLT, CmpLE:
+		lo, hi = math.Inf(-1), pred.Value
+	case CmpGT, CmpGE:
+		lo, hi = pred.Value, math.Inf(1)
+	case CmpBetween:
+		lo, hi = pred.Value, pred.Value2
+	default:
+		return n
+	}
+	if est := im.EstimateRows(lo, hi); est < n {
+		return est
+	}
+	return n
 }

@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gisnav/internal/colstore"
+)
+
+// legacyFilterRowsOne is a verbatim copy of the pre-kernel filterRowsOne:
+// typed value access, but operator re-dispatch through ColumnPred.Matches
+// and float64 widening on every row. It is kept here as the benchmark
+// baseline the kernels are measured against.
+func legacyFilterRowsOne(col colstore.Column, rows []int, pred ColumnPred) []int {
+	out := rows[:0]
+	switch t := col.(type) {
+	case *colstore.F64Column:
+		vals := t.Values()
+		for _, r := range rows {
+			if pred.Matches(vals[r]) {
+				out = append(out, r)
+			}
+		}
+	case *colstore.U8Column:
+		vals := t.Values()
+		for _, r := range rows {
+			if pred.Matches(float64(vals[r])) {
+				out = append(out, r)
+			}
+		}
+	case *colstore.U16Column:
+		vals := t.Values()
+		for _, r := range rows {
+			if pred.Matches(float64(vals[r])) {
+				out = append(out, r)
+			}
+		}
+	case *colstore.I32Column:
+		vals := t.Values()
+		for _, r := range rows {
+			if pred.Matches(float64(vals[r])) {
+				out = append(out, r)
+			}
+		}
+	default:
+		for _, r := range rows {
+			if pred.Matches(col.Value(r)) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+const benchRows = 1 << 20 // 1M
+
+var (
+	benchOnce  sync.Once
+	benchCloud *PointCloud
+	benchIdent []int
+)
+
+// benchFixture builds a 1M-row cloud with random values in every kernel
+// benchmark column, plus a reusable identity selection vector.
+func benchFixture(b *testing.B) (*PointCloud, []int) {
+	b.Helper()
+	benchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(99))
+		pc := NewPointCloud()
+		for _, f := range pc.Schema().Fields {
+			col := pc.Column(f.Name)
+			switch f.Name {
+			case ColClassification:
+				for i := 0; i < benchRows; i++ {
+					col.AppendValue(float64(rng.Intn(19)))
+				}
+			case ColIntensity:
+				for i := 0; i < benchRows; i++ {
+					col.AppendValue(float64(rng.Intn(1 << 16)))
+				}
+			case ColScanAngle:
+				for i := 0; i < benchRows; i++ {
+					col.AppendValue(float64(rng.Intn(60001) - 30000))
+				}
+			case ColZ:
+				for i := 0; i < benchRows; i++ {
+					col.AppendValue(rng.Float64() * 300)
+				}
+			default:
+				// Cheap constant fill keeps the flat-table invariant.
+				for i := 0; i < benchRows; i++ {
+					col.AppendValue(0)
+				}
+			}
+		}
+		benchCloud = pc
+		benchIdent = make([]int, benchRows)
+		for i := range benchIdent {
+			benchIdent[i] = i
+		}
+	})
+	return benchCloud, benchIdent
+}
+
+// benchLegacy measures the pre-refactor arm: per-row Matches over an
+// identity selection vector (scratch is reused, so allocations measure the
+// dispatch loop only, as in the old FilterRows).
+func benchLegacy(b *testing.B, column string, pred ColumnPred) {
+	pc, ident := benchFixture(b)
+	col := pc.Column(column)
+	scratch := make([]int, len(ident))
+	b.ReportAllocs()
+	b.SetBytes(int64(benchRows) * int64(col.DType().Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, ident)
+		legacyFilterRowsOne(col, scratch, pred)
+	}
+}
+
+// benchKernel measures the compiled block kernel over the full column with
+// a pooled result vector — the steady-state query path.
+func benchKernel(b *testing.B, column string, pred ColumnPred) {
+	pc, _ := benchFixture(b)
+	col := pc.Column(column)
+	k := CompileFilter(col, pred)
+	b.ReportAllocs()
+	b.SetBytes(int64(benchRows) * int64(col.DType().Size()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := k.FilterBlock(0, col.Len(), getRowBuf(col.Len()))
+		RecycleRows(rows)
+	}
+}
+
+var (
+	predU8  = ColumnPred{Column: ColClassification, Op: CmpEQ, Value: 6}
+	predU16 = ColumnPred{Column: ColIntensity, Op: CmpGT, Value: 60000}
+	predI32 = ColumnPred{Column: ColScanAngle, Op: CmpBetween, Value: -5000, Value2: 5000}
+	predF64 = ColumnPred{Column: ColZ, Op: CmpBetween, Value: 100, Value2: 130}
+)
+
+func BenchmarkFilterLegacyU8_1M(b *testing.B)  { benchLegacy(b, ColClassification, predU8) }
+func BenchmarkFilterKernelU8_1M(b *testing.B)  { benchKernel(b, ColClassification, predU8) }
+func BenchmarkFilterLegacyU16_1M(b *testing.B) { benchLegacy(b, ColIntensity, predU16) }
+func BenchmarkFilterKernelU16_1M(b *testing.B) { benchKernel(b, ColIntensity, predU16) }
+func BenchmarkFilterLegacyI32_1M(b *testing.B) { benchLegacy(b, ColScanAngle, predI32) }
+func BenchmarkFilterKernelI32_1M(b *testing.B) { benchKernel(b, ColScanAngle, predI32) }
+func BenchmarkFilterLegacyF64_1M(b *testing.B) { benchLegacy(b, ColZ, predF64) }
+func BenchmarkFilterKernelF64_1M(b *testing.B) { benchKernel(b, ColZ, predF64) }
+
+// BenchmarkFilterRowsKernel_1M measures the public FilterRows entry point
+// end-to-end on the steady-state pooled path.
+func BenchmarkFilterRowsKernel_1M(b *testing.B) {
+	pc, _ := benchFixture(b)
+	preds := []ColumnPred{predU8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := pc.FilterRows(nil, preds, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		RecycleRows(rows)
+	}
+}
+
+// BenchmarkAggregateLegacyClosure_1M vs the typed kernel: sum/min/max fused
+// over the u16 intensity column.
+func BenchmarkAggregateLegacyClosure_1M(b *testing.B) {
+	pc, _ := benchFixture(b)
+	col := pc.Column(ColIntensity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		v, ok := naiveAggregate(col, nil, true, AggSum, pc.Len())
+		if !ok {
+			b.Fatal("naive aggregate undefined")
+		}
+		sink += v
+	}
+	_ = sink
+}
+
+func BenchmarkAggregateKernel_1M(b *testing.B) {
+	pc, _ := benchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		v, err := pc.Aggregate(nil, AggSum, ColIntensity, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += v
+	}
+	_ = sink
+}

@@ -191,6 +191,11 @@ type Selection struct {
 	Refine  grid.Stats
 }
 
+// Release hands the selection vector back to the engine's pool. The caller
+// must not touch s.Rows afterwards. Releasing is optional — unreleased
+// vectors are garbage collected normally.
+func (s Selection) Release() { RecycleRows(s.Rows) }
+
 // SelectBox returns the rows inside env using filter–refine.
 func (pc *PointCloud) SelectBox(env geom.Envelope) Selection {
 	return pc.SelectRegion(grid.GeometryRegion{G: env.ToPolygon()})
@@ -216,11 +221,14 @@ func (pc *PointCloud) SelectRegion(region grid.Region) Selection {
 	ex := &Explain{}
 	env := region.Envelope()
 	if env.IsEmpty() || pc.Len() == 0 {
-		ex.Add("select.region", "empty region or table", pc.Len(), 0, 0)
-		return Selection{Explain: ex}
+		ex.Add(opSelectRegion, "empty region or table", pc.Len(), 0, 0)
+		// Empty but non-nil: downstream consumers (FilterRows, the SQL
+		// executor) read nil as "all rows", so an empty selection must
+		// stay distinguishable.
+		return Selection{Rows: []int{}, Explain: ex}
 	}
 	if d := pc.EnsureImprints(); d > 0 {
-		ex.Add("imprints.build", "x+y coordinate imprints", pc.Len(), pc.Len(), d)
+		ex.Add(opImprintsBuild, "x+y coordinate imprints", pc.Len(), pc.Len(), d)
 	}
 	imX, imY := pc.imprintsXY()
 
@@ -229,19 +237,21 @@ func (pc *PointCloud) SelectRegion(region grid.Region) Selection {
 	candX := imX.CandidateRanges(env.MinX, env.MaxX)
 	candY := imY.CandidateRanges(env.MinY, env.MaxY)
 	cand = colstore.IntersectRanges(candX, candY)
-	ex.Add("imprints.filter",
+	ex.Add(opImprintsFilter,
 		fmt.Sprintf("bbox %s", env.String()),
 		pc.Len(), colstore.RangesLen(cand), time.Since(start))
 
 	start = time.Now()
-	var rows []int
+	// The refinement result lands in a pooled selection vector sized by the
+	// imprint filter's candidate count (an upper bound on matches).
+	rows := getRowBuf(colstore.RangesLen(cand))
 	var st grid.Stats
 	if pc.Parallel {
-		rows, st = grid.RefineAuto(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts)
+		rows, st = grid.RefineAutoInto(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts, rows)
 	} else {
-		rows, st = grid.Refine(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts)
+		rows, st = grid.RefineInto(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts, rows)
 	}
-	ex.Add("grid.refine",
+	ex.Add(opGridRefine,
 		fmt.Sprintf("%dx%d cells, %d boundary", st.GridCellsX, st.GridCellsY, st.BoundaryCells),
 		st.CandidateRows, len(rows), time.Since(start))
 	return Selection{Rows: rows, Explain: ex, Refine: st}
@@ -253,7 +263,7 @@ func (pc *PointCloud) SelectRegionScan(region grid.Region) Selection {
 	start := time.Now()
 	rows, st := grid.RefineExhaustive(pc.xs.Values(), pc.ys.Values(),
 		colstore.FullRange(pc.Len()), region)
-	ex.Add("scan.exhaustive", "full table scan + exact test", pc.Len(), len(rows), time.Since(start))
+	ex.Add(opScanExhaustive, "full table scan + exact test", pc.Len(), len(rows), time.Since(start))
 	return Selection{Rows: rows, Explain: ex, Refine: st}
 }
 
@@ -263,7 +273,7 @@ func (pc *PointCloud) SelectRegionImprintsOnly(region grid.Region) Selection {
 	ex := &Explain{}
 	env := region.Envelope()
 	if env.IsEmpty() || pc.Len() == 0 {
-		return Selection{Explain: ex}
+		return Selection{Rows: []int{}, Explain: ex}
 	}
 	pc.EnsureImprints()
 	imX, imY := pc.imprintsXY()
@@ -272,9 +282,9 @@ func (pc *PointCloud) SelectRegionImprintsOnly(region grid.Region) Selection {
 		imX.CandidateRanges(env.MinX, env.MaxX),
 		imY.CandidateRanges(env.MinY, env.MaxY),
 	)
-	ex.Add("imprints.filter", env.String(), pc.Len(), colstore.RangesLen(cand), time.Since(start))
+	ex.Add(opImprintsFilter, env.String(), pc.Len(), colstore.RangesLen(cand), time.Since(start))
 	start = time.Now()
 	rows, st := grid.RefineExhaustive(pc.xs.Values(), pc.ys.Values(), cand, region)
-	ex.Add("refine.exhaustive", "exact test per candidate", st.CandidateRows, len(rows), time.Since(start))
+	ex.Add(opRefineExhaustive, "exact test per candidate", st.CandidateRows, len(rows), time.Since(start))
 	return Selection{Rows: rows, Explain: ex, Refine: st}
 }

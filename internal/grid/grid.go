@@ -124,12 +124,20 @@ const (
 // coordinates from xs/ys, and returns the matching row indices in ascending
 // order. Cells are classified on first touch, so empty cells cost nothing.
 func Refine(xs, ys []float64, cand []colstore.Range, region Region, opts Options) ([]int, Stats) {
+	return RefineInto(xs, ys, cand, region, opts, nil)
+}
+
+// RefineInto is Refine appending into a caller-provided matches slice, so
+// callers with pooled selection vectors avoid re-allocating per query. The
+// slice is appended to (its existing elements are preserved) and the
+// extended slice is returned.
+func RefineInto(xs, ys []float64, cand []colstore.Range, region Region, opts Options, matches []int) ([]int, Stats) {
 	opts = opts.withDefaults()
 	var st Stats
 	st.CandidateRows = colstore.RangesLen(cand)
 	env := region.Envelope()
 	if env.IsEmpty() || st.CandidateRows == 0 {
-		return nil, st
+		return matches, st
 	}
 
 	nx, ny := gridDims(st.CandidateRows, env, opts)
@@ -145,7 +153,7 @@ func Refine(xs, ys []float64, cand []colstore.Range, region Region, opts Options
 	}
 
 	states := make([]cellState, nx*ny)
-	var matches []int
+	base := len(matches)
 	for _, r := range cand {
 		for row := r.Start; row < r.End; row++ {
 			x, y := xs[row], ys[row]
@@ -195,7 +203,7 @@ func Refine(xs, ys []float64, cand []colstore.Range, region Region, opts Options
 			}
 		}
 	}
-	st.Matches = len(matches)
+	st.Matches = len(matches) - base
 	return matches, st
 }
 

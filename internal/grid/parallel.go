@@ -18,14 +18,20 @@ import (
 //
 // workers <= 0 selects GOMAXPROCS.
 func RefineParallel(xs, ys []float64, cand []colstore.Range, region Region, opts Options, workers int) ([]int, Stats) {
+	return RefineParallelInto(xs, ys, cand, region, opts, workers, nil)
+}
+
+// RefineParallelInto is RefineParallel appending into a caller-provided
+// matches slice (see RefineInto).
+func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, opts Options, workers int, matches []int) ([]int, Stats) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	total := colstore.RangesLen(cand)
 	if workers == 1 || total < 4096 {
-		return Refine(xs, ys, cand, region, opts)
+		return RefineInto(xs, ys, cand, region, opts, matches)
 	}
-	parts := splitRanges(cand, workers)
+	parts := SplitRanges(cand, workers)
 	results := make([][]int, len(parts))
 	stats := make([]Stats, len(parts))
 	var wg sync.WaitGroup
@@ -39,9 +45,9 @@ func RefineParallel(xs, ys []float64, cand []colstore.Range, region Region, opts
 	wg.Wait()
 
 	var st Stats
-	var rows []int
 	for w := range parts {
-		rows = append(rows, results[w]...)
+		matches = append(matches, results[w]...)
+		st.Matches += stats[w].Matches
 		st.CandidateRows += stats[w].CandidateRows
 		st.CellsTouched += stats[w].CellsTouched
 		st.InsideCells += stats[w].InsideCells
@@ -56,14 +62,17 @@ func RefineParallel(xs, ys []float64, cand []colstore.Range, region Region, opts
 			st.GridCellsY = stats[w].GridCellsY
 		}
 	}
-	st.Matches = len(rows)
-	return rows, st
+	return matches, st
 }
 
-// splitRanges cuts a sorted range list into n partitions of roughly equal
+// SplitRanges cuts a sorted range list into n partitions of roughly equal
 // row counts, preserving order (partition i's rows all precede partition
-// i+1's).
-func splitRanges(cand []colstore.Range, n int) [][]colstore.Range {
+// i+1's). n <= 0 selects GOMAXPROCS. Query operators use it to fan block
+// kernels and refinement passes across cores without reordering results.
+func SplitRanges(cand []colstore.Range, n int) [][]colstore.Range {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
 	total := colstore.RangesLen(cand)
 	if total == 0 || n <= 1 {
 		return [][]colstore.Range{cand}
@@ -99,10 +108,16 @@ func splitRanges(cand []colstore.Range, n int) [][]colstore.Range {
 // serial path otherwise. The crossover favours serial work for small
 // selections where goroutine fan-out costs more than it saves.
 func RefineAuto(xs, ys []float64, cand []colstore.Range, region Region, opts Options) ([]int, Stats) {
+	return RefineAutoInto(xs, ys, cand, region, opts, nil)
+}
+
+// RefineAutoInto is RefineAuto appending into a caller-provided matches
+// slice (see RefineInto).
+func RefineAutoInto(xs, ys []float64, cand []colstore.Range, region Region, opts Options, matches []int) ([]int, Stats) {
 	if colstore.RangesLen(cand) >= 1<<17 {
-		return RefineParallel(xs, ys, cand, region, opts, 0)
+		return RefineParallelInto(xs, ys, cand, region, opts, 0, matches)
 	}
-	return Refine(xs, ys, cand, region, opts)
+	return RefineInto(xs, ys, cand, region, opts, matches)
 }
 
 // compile-time check that regions used here satisfy the interface.

@@ -59,7 +59,7 @@ func TestRefineParallelSparseCandidates(t *testing.T) {
 
 func TestSplitRanges(t *testing.T) {
 	cand := []colstore.Range{{Start: 0, End: 100}, {Start: 200, End: 250}, {Start: 300, End: 450}}
-	parts := splitRanges(cand, 3)
+	parts := SplitRanges(cand, 3)
 	if len(parts) < 2 {
 		t.Fatalf("expected multiple partitions, got %d", len(parts))
 	}
@@ -79,10 +79,10 @@ func TestSplitRanges(t *testing.T) {
 		prev = r.End
 	}
 	// Degenerate inputs.
-	if got := splitRanges(nil, 4); len(got) != 1 {
+	if got := SplitRanges(nil, 4); len(got) != 1 {
 		t.Fatalf("empty split = %v", got)
 	}
-	if got := splitRanges(cand, 1); len(got) != 1 {
+	if got := SplitRanges(cand, 1); len(got) != 1 {
 		t.Fatal("n=1 should be one partition")
 	}
 }

@@ -92,6 +92,12 @@ type Imprints struct {
 	counts  []uint32
 	repeats []bool
 	lines   int // total cache lines covered
+
+	// binCounts is the value histogram over bins, filled during
+	// construction. Query operators use it as a selectivity estimate to
+	// size result vectors before scanning (every value matching a range
+	// predicate lies in a bin overlapping the range).
+	binCounts []uint32
 }
 
 // Build constructs imprints over vals. The input is not retained.
@@ -185,8 +191,10 @@ func (im *Imprints) binOf(v float64) int {
 // lastBin returns the highest usable bin index.
 func (im *Imprints) lastBin() int { return len(im.bounds) }
 
-// buildVectors computes the per-cacheline vectors and compresses runs.
+// buildVectors computes the per-cacheline vectors and compresses runs,
+// accumulating the per-bin value histogram along the way.
 func (im *Imprints) buildVectors(vals []float64) {
+	im.binCounts = make([]uint32, im.bits)
 	for start := 0; start < len(vals); start += im.vpl {
 		end := start + im.vpl
 		if end > len(vals) {
@@ -194,7 +202,9 @@ func (im *Imprints) buildVectors(vals []float64) {
 		}
 		var vec uint64
 		for _, v := range vals[start:end] {
-			vec |= 1 << uint(im.binOf(v))
+			b := im.binOf(v)
+			im.binCounts[b]++
+			vec |= 1 << uint(b)
 		}
 		im.appendLine(vec)
 	}
@@ -256,7 +266,27 @@ func (im *Imprints) Bytes() int {
 	vecBytes := len(im.vectors) * im.bits / 8
 	dictBytes := len(im.counts) * 4
 	boundBytes := len(im.bounds) * 8
-	return vecBytes + dictBytes + boundBytes
+	histBytes := len(im.binCounts) * 4
+	return vecBytes + dictBytes + boundBytes + histBytes
+}
+
+// EstimateRows bounds from above (up to histogram resolution) the number of
+// values in [lo, hi]: every matching value lies in a bin overlapping the
+// interval, so the summed bin counts are a cardinality estimate that query
+// operators use to size selection vectors before the scan.
+func (im *Imprints) EstimateRows(lo, hi float64) int {
+	if hi < lo || im.n == 0 || len(im.binCounts) == 0 {
+		return 0
+	}
+	bLo, bHi := im.binOf(lo), im.binOf(hi)
+	var est int
+	for b := bLo; b <= bHi && b < len(im.binCounts); b++ {
+		est += int(im.binCounts[b])
+	}
+	if est > im.n {
+		est = im.n
+	}
+	return est
 }
 
 // queryMask returns the bin mask for interval [lo, hi].

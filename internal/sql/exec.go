@@ -338,16 +338,31 @@ func (e *Executor) execPointCloud(stmt *SelectStmt, b *binding) (*Result, error)
 		ex.Steps = append(ex.Steps, sel.Explain.Steps...)
 		rows = sel.Rows
 	}
-	var err error
-	rows, err = b.pc.FilterRows(rows, preds, ex)
+	return e.finishPointCloud(stmt, b, rows, preds, generic, ex)
+}
+
+// finishPointCloud runs the shared tail of point-cloud and join execution:
+// thematic predicate kernels, generic row-wise filters, projection, and the
+// pooled-vector bookkeeping. rows may be nil ("all rows"); when non-nil it
+// is treated as engine-owned and recycled once replaced or projected.
+func (e *Executor) finishPointCloud(stmt *SelectStmt, b *binding, rows []int, preds []engine.ColumnPred, generic []Expr, ex *engine.Explain) (*Result, error) {
+	filtered, err := b.pc.FilterRows(rows, preds, ex)
 	if err != nil {
 		return nil, err
 	}
+	// FilterRows copies on first write, so the incoming pooled vector can
+	// go back to the pool as soon as a predicate replaced it.
+	if rows != nil && len(preds) > 0 {
+		engine.RecycleRows(rows)
+	}
+	rows = filtered
 	rows, err = e.genericFilterPC(b, rows, generic, ex)
 	if err != nil {
 		return nil, err
 	}
-	return e.output(stmt, b, rows, -1, ex)
+	res, err := e.output(stmt, b, rows, -1, ex)
+	engine.RecycleRows(rows)
+	return res, err
 }
 
 // genericFilterPC applies unrecognised conjuncts row-by-row.
@@ -515,15 +530,7 @@ func (e *Executor) execJoin(stmt *SelectStmt, b *binding) (*Result, error) {
 		}
 		generic = append(generic, c)
 	}
-	rows, err = b.pc.FilterRows(rows, preds, ex)
-	if err != nil {
-		return nil, err
-	}
-	rows, err = e.genericFilterPC(b, rows, generic, ex)
-	if err != nil {
-		return nil, err
-	}
-	return e.output(stmt, b, rows, -1, ex)
+	return e.finishPointCloud(stmt, b, rows, preds, generic, ex)
 }
 
 // spatialJoin recognises the join predicate shape and runs it.
@@ -741,6 +748,9 @@ func (e *Executor) computeAggregate(b *binding, f FuncCall, rows []int, isVector
 	if len(f.Args) != 1 {
 		return Value{}, fmt.Errorf("sql: %s expects one argument", f.Name)
 	}
+	if v, ok, err := e.kernelAggregate(b, f, rows, isVector); ok {
+		return v, err
+	}
 	ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
 	var sum, lo, hi float64
 	n := 0
@@ -789,6 +799,50 @@ func (e *Executor) computeAggregate(b *binding, f FuncCall, rows []int, isVector
 	default:
 		return Value{}, fmt.Errorf("sql: unknown aggregate %q", f.Name)
 	}
+}
+
+// kernelAggregate routes aggregates over a bare point-cloud column through
+// the engine's typed aggregate kernels instead of per-row expression
+// evaluation. ok reports whether the shape was recognised; when false, the
+// caller falls back to the generic path. Results are identical: column
+// references evaluate to the same float64 widening the kernels use, and
+// accumulation order is unchanged (ascending rows).
+func (e *Executor) kernelAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, bool, error) {
+	if isVector || b.pc == nil {
+		return Value{}, false, nil
+	}
+	col, ok := pcColumnName(b, f.Args[0])
+	if !ok {
+		return Value{}, false, nil
+	}
+	var fn engine.AggFunc
+	switch f.Name {
+	case "count":
+		// count(col) over non-null numeric columns is the row count.
+		return numVal(float64(len(rows))), true, nil
+	case "sum":
+		fn = engine.AggSum
+	case "avg":
+		fn = engine.AggAvg
+	case "min":
+		fn = engine.AggMin
+	case "max":
+		fn = engine.AggMax
+	default:
+		return Value{}, false, nil
+	}
+	if len(rows) == 0 {
+		// SQL semantics over empty input: sum() is 0, the rest are NULL.
+		if fn == engine.AggSum {
+			return numVal(0), true, nil
+		}
+		return Value{Kind: KindNull}, true, nil
+	}
+	v, err := b.pc.Aggregate(rows, fn, col, nil)
+	if err != nil {
+		return Value{}, true, err
+	}
+	return numVal(v), true, nil
 }
 
 // --- helpers --------------------------------------------------------------------

@@ -390,3 +390,22 @@ func TestValueStringRendering(t *testing.T) {
 		t.Fatal("geom string wrong")
 	}
 }
+
+// TestJoinWithNoMatchingFeaturesIsEmpty is a regression test: a spatial
+// join whose vector-side filter selects zero features must return zero
+// points, not the whole cloud (a nil selection vector means "all rows" to
+// FilterRows, so the engine's empty selections must stay non-nil).
+func TestJoinWithNoMatchingFeaturesIsEmpty(t *testing.T) {
+	e, _, _, _ := testDB(t)
+	res := mustQuery(t, e, `SELECT count(*) FROM ahn2, ua
+		WHERE ua.class = 'no_such_class' AND ST_DWithin(ua.geom, ST_Point(ahn2.x, ahn2.y), 20)`)
+	if n := res.Rows[0][0].Num; n != 0 {
+		t.Fatalf("join over zero features matched %v points, want 0", n)
+	}
+	// Same shape through the containment join.
+	res = mustQuery(t, e, `SELECT count(*) FROM ahn2, ua
+		WHERE ua.class = 'no_such_class' AND ST_Contains(ua.geom, ST_Point(ahn2.x, ahn2.y))`)
+	if n := res.Rows[0][0].Num; n != 0 {
+		t.Fatalf("containment join over zero features matched %v points, want 0", n)
+	}
+}
