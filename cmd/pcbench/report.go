@@ -17,6 +17,9 @@ type jsonRecord struct {
 	Matches    int     `json:"matches"`
 	NsPerOp    int64   `json:"ns_per_op"`
 	Speedup    float64 `json:"speedup,omitempty"` // vs the experiment's baseline arm
+	// AllocsPerOp is testing.AllocsPerRun for steady-state arms (the
+	// repeated-query fast path's contract is 0); nil when not measured.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // jsonReport accumulates records across experiments and serialises them.
@@ -40,6 +43,15 @@ func (r *jsonReport) add(experiment, name, arm string, rows, matches int, d time
 		NsPerOp:    d.Nanoseconds(),
 		Speedup:    speedup,
 	})
+}
+
+// addAllocs appends one measurement carrying an allocation count; pass a
+// negative allocs for arms where it wasn't measured.
+func (r *jsonReport) addAllocs(experiment, name, arm string, rows, matches int, d time.Duration, allocs float64) {
+	r.add(experiment, name, arm, rows, matches, d, 0)
+	if allocs >= 0 {
+		r.Records[len(r.Records)-1].AllocsPerOp = &allocs
+	}
 }
 
 // write dumps the report as indented JSON to path.

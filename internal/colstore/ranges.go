@@ -4,7 +4,15 @@ package colstore
 // returning the rows present in both. The query engine uses it to combine
 // the candidate cacheline sets produced by the X and Y column imprints.
 func IntersectRanges(a, b []Range) []Range {
-	var out []Range
+	return IntersectRangesInto(a, b, nil)
+}
+
+// IntersectRangesInto is IntersectRanges appending into a caller-provided
+// buffer, so callers with pooled range lists avoid re-allocating per query.
+// out's existing elements are preserved and assumed to end before the
+// intersection starts; adjacent and overlapping results coalesce as they
+// are emitted, so the appended region is already merged.
+func IntersectRangesInto(a, b, out []Range) []Range {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		lo := a[i].Start
@@ -16,7 +24,13 @@ func IntersectRanges(a, b []Range) []Range {
 			hi = b[j].End
 		}
 		if lo < hi {
-			out = append(out, Range{lo, hi})
+			if n := len(out); n > 0 && out[n-1].End >= lo {
+				if hi > out[n-1].End {
+					out[n-1].End = hi
+				}
+			} else {
+				out = append(out, Range{lo, hi})
+			}
 		}
 		if a[i].End < b[j].End {
 			i++
@@ -24,7 +38,7 @@ func IntersectRanges(a, b []Range) []Range {
 			j++
 		}
 	}
-	return MergeRanges(out)
+	return out
 }
 
 // RangesContain reports whether row is covered by the sorted range list.

@@ -66,14 +66,15 @@ func (pc *PointCloud) FilterRangeIndexed(name string, lo, hi float64, ex *Explai
 	}
 	col := pc.Column(name)
 	start := time.Now()
-	cand := im.CandidateRanges(lo, hi)
+	cand := im.CandidateRangesInto(lo, hi, getRangeBuf(0))
+	defer RecycleRanges(cand)
 	if ex != nil {
 		ex.Add(opImprintsFilter, fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
 			pc.Len(), colstore.RangesLen(cand), time.Since(start))
 	}
 
 	start = time.Now()
-	k := CompileRange(col, name, lo, hi)
+	k := pc.compileRangeCached(col, name, lo, hi)
 	rows := getRowBuf(im.EstimateRows(lo, hi))
 	if pc.Parallel && colstore.RangesLen(cand) >= kernelParallelRows {
 		rows = filterBlocksParallel(k, cand, rows)
@@ -132,7 +133,7 @@ func (pc *PointCloud) FilterRangeScan(name string, lo, hi float64, ex *Explain) 
 		return nil, fmt.Errorf("engine: unknown column %q", name)
 	}
 	start := time.Now()
-	k := CompileRange(col, name, lo, hi)
+	k := pc.compileRangeCached(col, name, lo, hi)
 	rows := k.FilterBlock(0, col.Len(), getRowBuf(col.Len()))
 	if ex != nil {
 		ex.Add(opScanRange, fmt.Sprintf("%s in [%g, %g]", name, lo, hi),

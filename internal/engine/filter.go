@@ -100,7 +100,7 @@ func (pc *PointCloud) FilterRows(rows []int, preds []ColumnPred, ex *Explain) ([
 			}
 			return nil, fmt.Errorf("engine: unknown column %q", pred.Column)
 		}
-		k := CompileFilter(col, pred)
+		k := pc.compileFilterCached(col, pred)
 		start := time.Now()
 		switch {
 		case rows == nil:

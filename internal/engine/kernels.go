@@ -20,7 +20,6 @@ package engine
 
 import (
 	"math"
-	"sync"
 
 	"gisnav/internal/colstore"
 )
@@ -789,74 +788,5 @@ func genericKernel(col colstore.Column, pred ColumnPred) *Kernel {
 	}
 }
 
-// --- pooled selection vectors -----------------------------------------------
-
-// selvecPool recycles selection vectors across queries. It is a mutex-backed
-// free list rather than a sync.Pool: returning a []int through sync.Pool
-// boxes the slice header into an interface, costing one heap allocation per
-// recycle, which would break the zero-allocation steady state the kernel
-// path guarantees. Pushing the header onto a [][]int stack reuses the
-// stack's backing array and stays allocation-free.
-type selvecPool struct {
-	mu       sync.Mutex
-	free     [][]int
-	heldInts int // summed capacity of the retained vectors
-}
-
-// maxPooledVecs bounds how many selection vectors the pool retains; beyond
-// that, recycled vectors are released to the garbage collector.
-const maxPooledVecs = 32
-
-// maxPooledInts bounds the pool's total retained capacity (in elements, so
-// 8 bytes each) so a burst of huge queries can't pin worst-case buffers for
-// the process lifetime; vectors that would push the pool past the budget go
-// to the garbage collector instead.
-const maxPooledInts = 1 << 25 // 32M rows ≈ 256 MiB
-
-var rowPool selvecPool
-
-// get returns an empty selection vector with capacity at least capHint when
-// a suitable pooled vector exists; otherwise it allocates one. capHint is a
-// hint — appends beyond it grow the slice normally.
-func (p *selvecPool) get(capHint int) []int {
-	if capHint < 64 {
-		capHint = 64
-	}
-	p.mu.Lock()
-	for i := len(p.free) - 1; i >= 0; i-- {
-		if cap(p.free[i]) >= capHint {
-			s := p.free[i]
-			last := len(p.free) - 1
-			p.free[i] = p.free[last]
-			p.free = p.free[:last]
-			p.heldInts -= cap(s)
-			p.mu.Unlock()
-			return s[:0]
-		}
-	}
-	p.mu.Unlock()
-	return make([]int, 0, capHint)
-}
-
-// put returns a vector to the free list, unless retaining it would exceed
-// the pool's entry or capacity budgets.
-func (p *selvecPool) put(s []int) {
-	if cap(s) == 0 {
-		return
-	}
-	p.mu.Lock()
-	if len(p.free) < maxPooledVecs && p.heldInts+cap(s) <= maxPooledInts {
-		p.free = append(p.free, s[:0])
-		p.heldInts += cap(s)
-	}
-	p.mu.Unlock()
-}
-
-// getRowBuf acquires a pooled selection vector sized for capHint rows.
-func getRowBuf(capHint int) []int { return rowPool.get(capHint) }
-
-// RecycleRows returns a selection vector previously produced by FilterRows,
-// FilterRangeIndexed, FilterRangeScan, or Selection.Rows to the engine's
-// pool. The caller must not touch rows afterwards. Recycling is optional —
-// vectors that are never returned are simply garbage collected.
-func RecycleRows(rows []int) { rowPool.put(rows) }
+// Pooled selection vectors live in pool.go (getRowBuf / RecycleRows): a
+// striped mutex-backed free list shared with the candidate-range pool.

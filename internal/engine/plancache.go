@@ -1,0 +1,122 @@
+// Plan cache: compiled filter kernels memoised per table. The paper's
+// GIS-navigation workload is repeated queries — every pan/zoom step
+// re-issues near-identical bbox + thematic selections — so the steady-state
+// query path should compile nothing. A kernel is pure once built (it closes
+// over the column's backing array and the predicate constants), which makes
+// (column, op, constants) a complete cache key.
+//
+// Invalidation contract: appends may grow or MOVE a column's backing array,
+// so a cached kernel bound to the old array would silently serve stale (or
+// truncated) data. Every append path therefore ends in InvalidateIndexes,
+// which drops the kernel cache together with the imprints. As with imprints,
+// appends require external exclusion from queries; invalidation itself is
+// safe against concurrent readers (they finish on the kernel they already
+// fetched, which still sees the pre-append array).
+package engine
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gisnav/internal/colstore"
+)
+
+// planKey identifies one compiled filter kernel: the predicate normal form
+// the executor produces.
+type planKey struct {
+	column string
+	op     CmpOp
+	v1, v2 float64
+}
+
+// maxCachedPlans bounds the cache. A navigation session re-uses a handful
+// of predicate shapes; an ad-hoc workload that generates unbounded distinct
+// constants (e.g. a sweep) must not grow the map forever, so past the bound
+// the whole cache is dropped and rebuilt from the live working set.
+const maxCachedPlans = 512
+
+// planCache memoises CompileFilter results until the next invalidation.
+type planCache struct {
+	mu      sync.RWMutex
+	kernels map[planKey]*Kernel
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// lookup returns the cached kernel for key, or nil.
+func (c *planCache) lookup(key planKey) *Kernel {
+	c.mu.RLock()
+	k := c.kernels[key]
+	c.mu.RUnlock()
+	if k != nil {
+		c.hits.Add(1)
+	}
+	return k
+}
+
+// insert stores k under key, resetting the cache when it outgrew its bound.
+func (c *planCache) insert(key planKey, k *Kernel) {
+	c.misses.Add(1)
+	c.mu.Lock()
+	if c.kernels == nil || len(c.kernels) >= maxCachedPlans {
+		c.kernels = make(map[planKey]*Kernel, 16)
+	}
+	c.kernels[key] = k
+	c.mu.Unlock()
+}
+
+// invalidate drops every cached kernel; pc.mu ordering is the caller's
+// concern (the cache has its own lock and never calls back into PointCloud).
+func (c *planCache) invalidate() {
+	c.mu.Lock()
+	c.kernels = nil
+	c.mu.Unlock()
+}
+
+// stats reports cache effectiveness counters.
+func (c *planCache) stats() (entries int, hits, misses uint64) {
+	c.mu.RLock()
+	entries = len(c.kernels)
+	c.mu.RUnlock()
+	return entries, c.hits.Load(), c.misses.Load()
+}
+
+// compileFilterCached returns the compiled kernel for pred over col, served
+// from the table's plan cache when the same (column, op, constants) shape
+// was compiled since the last invalidation. NaN constants bypass the cache:
+// NaN keys never compare equal, so they could only insert unreachable
+// entries.
+func (pc *PointCloud) compileFilterCached(col colstore.Column, pred ColumnPred) *Kernel {
+	if math.IsNaN(pred.Value) || math.IsNaN(pred.Value2) {
+		return CompileFilter(col, pred)
+	}
+	key := planKey{column: pred.Column, op: pred.Op, v1: pred.Value, v2: pred.Value2}
+	if k := pc.plans.lookup(key); k != nil {
+		return k
+	}
+	k := CompileFilter(col, pred)
+	pc.plans.insert(key, k)
+	return k
+}
+
+// compileRangeCached is compileFilterCached for the inclusive range shape
+// the imprint filter path produces.
+func (pc *PointCloud) compileRangeCached(col colstore.Column, name string, lo, hi float64) *Kernel {
+	return pc.compileFilterCached(col, ColumnPred{Column: name, Op: CmpBetween, Value: lo, Value2: hi})
+}
+
+// PlanCacheStats reports the number of cached kernels and the hit/miss
+// counters since the last invalidation — the observability hook for the
+// repeated-query experiments and the invalidation tests.
+type PlanCacheStats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// PlanCacheStats snapshots the table's plan cache.
+func (pc *PointCloud) PlanCacheStats() PlanCacheStats {
+	entries, hits, misses := pc.plans.stats()
+	return PlanCacheStats{Entries: entries, Hits: hits, Misses: misses}
+}

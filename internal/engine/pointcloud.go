@@ -35,6 +35,11 @@ type PointCloud struct {
 	imprintX    *imprints.Imprints
 	imprintY    *imprints.Imprints
 	colImprints map[string]*imprints.Imprints
+
+	// plans memoises compiled filter kernels per (column, op, constants);
+	// dropped together with the imprints on InvalidateIndexes, because both
+	// bind to column backing arrays that appends may move.
+	plans planCache
 }
 
 // NewPointCloud returns an empty flat table with the 26-attribute schema.
@@ -97,12 +102,16 @@ func (pc *PointCloud) AppendLAS(pts []las.Point) {
 	pc.InvalidateIndexes()
 }
 
-// InvalidateIndexes drops the imprints; they rebuild on the next query.
+// InvalidateIndexes drops the imprints and the compiled-kernel plan cache;
+// both rebuild on the next query. Appends must call this (and do, on every
+// load path): they can move column backing arrays, so cached kernels and
+// imprints bound to the old arrays must not serve another query.
 func (pc *PointCloud) InvalidateIndexes() {
 	pc.mu.Lock()
 	pc.imprintX, pc.imprintY = nil, nil
 	pc.colImprints = nil
 	pc.mu.Unlock()
+	pc.plans.invalidate()
 }
 
 // HasImprints reports whether the coordinate imprints are currently built.
@@ -219,27 +228,48 @@ func (pc *PointCloud) SelectDWithin(g geom.Geometry, d float64) Selection {
 //     only boundary cells fall back to exact point tests.
 func (pc *PointCloud) SelectRegion(region grid.Region) Selection {
 	ex := &Explain{}
+	rows, st := pc.selectRegionRows(region, ex)
+	return Selection{Rows: rows, Explain: ex, Refine: st}
+}
+
+// SelectRegionRows is the steady-state navigation entry point: SelectRegion
+// without the operator trace. With imprints built and the candidate-range,
+// selection-vector and grid-state buffers all pooled, a repeated query
+// through this path performs zero heap allocations on the serial
+// refinement arm. (With Parallel set and a large candidate set, the
+// fan-out still pays O(workers) bookkeeping per query — partial match
+// vectors are pooled, goroutine scaffolding is not.) The returned vector
+// is pooled; hand it back with RecycleRows when done.
+func (pc *PointCloud) SelectRegionRows(region grid.Region) []int {
+	rows, _ := pc.selectRegionRows(region, nil)
+	return rows
+}
+
+// selectRegionRows is the shared filter–refine core; ex may be nil, in
+// which case no trace (and none of its formatting allocations) is produced.
+func (pc *PointCloud) selectRegionRows(region grid.Region, ex *Explain) ([]int, grid.Stats) {
 	env := region.Envelope()
 	if env.IsEmpty() || pc.Len() == 0 {
-		ex.Add(opSelectRegion, "empty region or table", pc.Len(), 0, 0)
+		if ex != nil {
+			ex.Add(opSelectRegion, "empty region or table", pc.Len(), 0, 0)
+		}
 		// Empty but non-nil: downstream consumers (FilterRows, the SQL
 		// executor) read nil as "all rows", so an empty selection must
 		// stay distinguishable.
-		return Selection{Rows: []int{}, Explain: ex}
+		return []int{}, grid.Stats{}
 	}
-	if d := pc.EnsureImprints(); d > 0 {
+	if d := pc.EnsureImprints(); d > 0 && ex != nil {
 		ex.Add(opImprintsBuild, "x+y coordinate imprints", pc.Len(), pc.Len(), d)
 	}
 	imX, imY := pc.imprintsXY()
 
-	var cand []colstore.Range
 	start := time.Now()
-	candX := imX.CandidateRanges(env.MinX, env.MaxX)
-	candY := imY.CandidateRanges(env.MinY, env.MaxY)
-	cand = colstore.IntersectRanges(candX, candY)
-	ex.Add(opImprintsFilter,
-		fmt.Sprintf("bbox %s", env.String()),
-		pc.Len(), colstore.RangesLen(cand), time.Since(start))
+	cand := candidateRangesXY(imX, imY, env)
+	if ex != nil {
+		ex.Add(opImprintsFilter,
+			fmt.Sprintf("bbox %s", env.String()),
+			pc.Len(), colstore.RangesLen(cand), time.Since(start))
+	}
 
 	start = time.Now()
 	// The refinement result lands in a pooled selection vector sized by the
@@ -251,18 +281,37 @@ func (pc *PointCloud) SelectRegion(region grid.Region) Selection {
 	} else {
 		rows, st = grid.RefineInto(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts, rows)
 	}
-	ex.Add(opGridRefine,
-		fmt.Sprintf("%dx%d cells, %d boundary", st.GridCellsX, st.GridCellsY, st.BoundaryCells),
-		st.CandidateRows, len(rows), time.Since(start))
-	return Selection{Rows: rows, Explain: ex, Refine: st}
+	RecycleRanges(cand)
+	if ex != nil {
+		ex.Add(opGridRefine,
+			fmt.Sprintf("%dx%d cells, %d boundary", st.GridCellsX, st.GridCellsY, st.BoundaryCells),
+			st.CandidateRows, len(rows), time.Since(start))
+	}
+	return rows, st
+}
+
+// candidateRangesXY runs the imprint filter step for env's bounding box:
+// the X and Y candidate cacheline lists intersect into one pooled range
+// list (~170KB/query at small scale if it were allocated instead). The
+// intermediate lists go straight back to the pool; the caller owns the
+// returned list and must hand it back with RecycleRanges.
+func candidateRangesXY(imX, imY *imprints.Imprints, env geom.Envelope) []colstore.Range {
+	candX := imX.CandidateRangesInto(env.MinX, env.MaxX, getRangeBuf(0))
+	candY := imY.CandidateRangesInto(env.MinY, env.MaxY, getRangeBuf(0))
+	cand := colstore.IntersectRangesInto(candX, candY, getRangeBuf(0))
+	RecycleRanges(candX)
+	RecycleRanges(candY)
+	return cand
 }
 
 // SelectRegionScan is the no-index baseline: every row refines exhaustively.
+// Rows are pool-drawn like every other Selection producer, so Release keeps
+// the pool accounting balanced.
 func (pc *PointCloud) SelectRegionScan(region grid.Region) Selection {
 	ex := &Explain{}
 	start := time.Now()
-	rows, st := grid.RefineExhaustive(pc.xs.Values(), pc.ys.Values(),
-		colstore.FullRange(pc.Len()), region)
+	rows, st := grid.RefineExhaustiveInto(pc.xs.Values(), pc.ys.Values(),
+		colstore.FullRange(pc.Len()), region, getRowBuf(pc.Len()))
 	ex.Add(opScanExhaustive, "full table scan + exact test", pc.Len(), len(rows), time.Since(start))
 	return Selection{Rows: rows, Explain: ex, Refine: st}
 }
@@ -278,13 +327,12 @@ func (pc *PointCloud) SelectRegionImprintsOnly(region grid.Region) Selection {
 	pc.EnsureImprints()
 	imX, imY := pc.imprintsXY()
 	start := time.Now()
-	cand := colstore.IntersectRanges(
-		imX.CandidateRanges(env.MinX, env.MaxX),
-		imY.CandidateRanges(env.MinY, env.MaxY),
-	)
+	cand := candidateRangesXY(imX, imY, env)
 	ex.Add(opImprintsFilter, env.String(), pc.Len(), colstore.RangesLen(cand), time.Since(start))
 	start = time.Now()
-	rows, st := grid.RefineExhaustive(pc.xs.Values(), pc.ys.Values(), cand, region)
+	rows, st := grid.RefineExhaustiveInto(pc.xs.Values(), pc.ys.Values(), cand, region,
+		getRowBuf(colstore.RangesLen(cand)))
+	RecycleRanges(cand)
 	ex.Add(opRefineExhaustive, "exact test per candidate", st.CandidateRows, len(rows), time.Since(start))
 	return Selection{Rows: rows, Explain: ex, Refine: st}
 }

@@ -1,0 +1,61 @@
+// Pooled query buffers. The engine's steady-state query path — the paper's
+// repeated pan/zoom workload — must allocate nothing: selection vectors and
+// imprint candidate-range lists come from striped free-list pools
+// (colstore.Pool; the grid package pools its refinement scratch the same
+// way) and return to them when the query finishes.
+package engine
+
+import (
+	"gisnav/internal/colstore"
+)
+
+// rowPool recycles selection vectors; rangePool recycles imprint
+// candidate-range lists. Budgets assume 8-byte row ids (256 MiB) and
+// 16-byte ranges (128 MiB).
+var (
+	rowPool   = colstore.Pool[int]{MaxElts: 1 << 25}
+	rangePool = colstore.Pool[colstore.Range]{MaxElts: 1 << 23}
+)
+
+// getRowBuf acquires a pooled selection vector sized for capHint rows.
+func getRowBuf(capHint int) []int { return rowPool.Get(capHint) }
+
+// RecycleRows returns a selection vector previously produced by FilterRows,
+// FilterRangeIndexed, FilterRangeScan, SelectRegionRows, or Selection.Rows
+// to the engine's pool. The caller must not touch rows afterwards. Recycling
+// is optional — vectors that are never returned are simply garbage
+// collected.
+func RecycleRows(rows []int) { rowPool.Put(rows) }
+
+// getRangeBuf acquires a pooled candidate-range buffer.
+func getRangeBuf(capHint int) []colstore.Range { return rangePool.Get(capHint) }
+
+// RecycleRanges returns a candidate-range buffer drawn from the engine's
+// pool (imprint CandidateRangesInto / IntersectRangesInto output routed
+// through the query path). The caller must not touch rs afterwards.
+func RecycleRanges(rs []colstore.Range) { rangePool.Put(rs) }
+
+// PoolStats is a snapshot of one buffer pool, for diagnostics and the
+// pool-accounting regression tests.
+type PoolStats struct {
+	// Free is the number of buffers currently retained across all shards.
+	Free int
+	// FreeElts is their summed capacity in elements.
+	FreeElts int
+	// Outstanding is gets minus recycles since process start. Code that
+	// recycles every buffer it draws keeps this balanced; a positive drift
+	// across a closed workload indicates a leaked pooled buffer.
+	Outstanding int64
+}
+
+// SelectionPoolStats snapshots the selection-vector pool.
+func SelectionPoolStats() PoolStats {
+	free, elts, outstanding := rowPool.Stats()
+	return PoolStats{Free: free, FreeElts: int(elts), Outstanding: outstanding}
+}
+
+// RangePoolStats snapshots the candidate-range pool.
+func RangePoolStats() PoolStats {
+	free, elts, outstanding := rangePool.Stats()
+	return PoolStats{Free: free, FreeElts: int(elts), Outstanding: outstanding}
+}

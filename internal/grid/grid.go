@@ -47,17 +47,37 @@ func (r GeometryRegion) Contains(x, y float64) bool { return geom.ContainsPoint(
 // rad the cell half-diagonal, dist(p) ∈ [dist(c)-rad, dist(c)+rad] for every
 // p in the cell, so cells provably inside or outside are decided with a
 // single distance evaluation.
+//
+// A distance that is negative, NaN or ±Inf makes the region empty: a
+// negative or NaN threshold can never be met by a (non-negative) distance,
+// and an infinite one would buffer the envelope into a non-finite box that
+// poisons grid sizing downstream. The guard lives here — not only in
+// callers — so every query layer sees an empty (non-nil) selection instead
+// of whatever Envelope.Buffer would produce.
 type BufferRegion struct {
 	G geom.Geometry
 	D float64
 }
 
+// ValidDistance reports whether d is a usable DWithin threshold: finite and
+// non-negative (the d >= 0 form also rejects NaN). It is THE validity rule
+// for distance predicates — the SQL scalar st_dwithin shares it, so the
+// interpreted and accelerated forms of the same query cannot diverge.
+func ValidDistance(d float64) bool {
+	return d >= 0 && !math.IsInf(d, 1)
+}
+
 // Envelope implements Region.
-func (r BufferRegion) Envelope() geom.Envelope { return r.G.Envelope().Buffer(r.D) }
+func (r BufferRegion) Envelope() geom.Envelope {
+	if !ValidDistance(r.D) {
+		return geom.EmptyEnvelope()
+	}
+	return r.G.Envelope().Buffer(r.D)
+}
 
 // Classify implements Region.
 func (r BufferRegion) Classify(box geom.Envelope) geom.BoxRelation {
-	if box.IsEmpty() {
+	if box.IsEmpty() || !ValidDistance(r.D) {
 		return geom.BoxOutside
 	}
 	c := box.Center()
@@ -74,7 +94,9 @@ func (r BufferRegion) Classify(box geom.Envelope) geom.BoxRelation {
 }
 
 // Contains implements Region.
-func (r BufferRegion) Contains(x, y float64) bool { return geom.DWithin(x, y, r.G, r.D) }
+func (r BufferRegion) Contains(x, y float64) bool {
+	return ValidDistance(r.D) && geom.DWithin(x, y, r.G, r.D)
+}
 
 // Options tunes refinement.
 type Options struct {
@@ -120,6 +142,26 @@ const (
 	cellBoundary
 )
 
+// statePool recycles cell-state arrays across refinement passes, so the
+// repeated-query steady state allocates nothing per pass. Same substrate
+// as the engine's selection-vector pool (colstore.Pool); RefineParallel
+// workers draw from it concurrently. The budget (16M cells = 16 MiB at one
+// byte per cell) keeps a raised Options.MaxCellsPerSide from pinning
+// worst-case grids for the process lifetime.
+var statePool = colstore.Pool[cellState]{MaxElts: 1 << 24}
+
+// getStates returns a zeroed cell-state array of length n (Get guarantees
+// capacity, so reslicing is always in bounds; pooled arrays are dirty and
+// must be cleared).
+func getStates(n int) []cellState {
+	s := statePool.Get(n)[:n]
+	clear(s)
+	return s
+}
+
+// putStates hands a cell-state array back to the pool.
+func putStates(s []cellState) { statePool.Put(s) }
+
 // Refine evaluates the region over the candidate row ranges, reading point
 // coordinates from xs/ys, and returns the matching row indices in ascending
 // order. Cells are classified on first touch, so empty cells cost nothing.
@@ -152,7 +194,8 @@ func RefineInto(xs, ys []float64, cand []colstore.Range, region Region, opts Opt
 		cellH = 1
 	}
 
-	states := make([]cellState, nx*ny)
+	states := getStates(nx * ny)
+	defer putStates(states)
 	base := len(matches)
 	for _, r := range cand {
 		for row := r.Start; row < r.End; row++ {
@@ -210,13 +253,20 @@ func RefineInto(xs, ys []float64, cand []colstore.Range, region Region, opts Opt
 // RefineExhaustive is the ablation baseline: every candidate point is tested
 // with the exact predicate, no grid (E10).
 func RefineExhaustive(xs, ys []float64, cand []colstore.Range, region Region) ([]int, Stats) {
+	return RefineExhaustiveInto(xs, ys, cand, region, nil)
+}
+
+// RefineExhaustiveInto is RefineExhaustive appending into a caller-provided
+// matches slice, so the engine's scan baselines can produce pool-drawn
+// selection vectors like the grid path does.
+func RefineExhaustiveInto(xs, ys []float64, cand []colstore.Range, region Region, matches []int) ([]int, Stats) {
 	var st Stats
 	st.CandidateRows = colstore.RangesLen(cand)
 	env := region.Envelope()
 	if env.IsEmpty() {
-		return nil, st
+		return matches, st
 	}
-	var matches []int
+	base := len(matches)
 	for _, r := range cand {
 		for row := r.Start; row < r.End; row++ {
 			x, y := xs[row], ys[row]
@@ -229,7 +279,7 @@ func RefineExhaustive(xs, ys []float64, cand []colstore.Range, region Region) ([
 			}
 		}
 	}
-	st.Matches = len(matches)
+	st.Matches = len(matches) - base
 	return matches, st
 }
 

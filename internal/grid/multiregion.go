@@ -69,9 +69,14 @@ type MultiBuffer struct {
 	d     float64
 }
 
-// NewMultiBuffer indexes the member geometries for distance d.
+// NewMultiBuffer indexes the member geometries for distance d. A negative,
+// NaN or infinite d yields an empty region (see BufferRegion), as does an
+// empty member list.
 func NewMultiBuffer(geoms []geom.Geometry, d float64) *MultiBuffer {
 	m := &MultiBuffer{geoms: geoms, d: d, ext: geom.EmptyEnvelope()}
+	if !ValidDistance(d) {
+		return m
+	}
 	m.envs = make([]geom.Envelope, len(geoms))
 	for i, g := range geoms {
 		m.envs[i] = g.Envelope().Buffer(d)
@@ -86,7 +91,7 @@ func (m *MultiBuffer) Envelope() geom.Envelope { return m.ext }
 // Classify implements Region with the same Lipschitz argument as
 // BufferRegion, taking the minimum distance over envelope-surviving members.
 func (m *MultiBuffer) Classify(box geom.Envelope) geom.BoxRelation {
-	if box.IsEmpty() {
+	if box.IsEmpty() || !ValidDistance(m.d) {
 		return geom.BoxOutside
 	}
 	c := box.Center()

@@ -21,6 +21,11 @@ func RefineParallel(xs, ys []float64, cand []colstore.Range, region Region, opts
 	return RefineParallelInto(xs, ys, cand, region, opts, workers, nil)
 }
 
+// partialPool recycles the per-worker partial match vectors of parallel
+// refinement (same substrate as the engine's selection-vector pool; 32M
+// rows total budget).
+var partialPool = colstore.Pool[int]{MaxElts: 1 << 25}
+
 // RefineParallelInto is RefineParallel appending into a caller-provided
 // matches slice (see RefineInto).
 func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, opts Options, workers int, matches []int) ([]int, Stats) {
@@ -39,7 +44,11 @@ func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w], stats[w] = Refine(xs, ys, parts[w], region, opts)
+			// Per-partition match buffers are pooled: the dominant
+			// per-query allocation of the parallel arm would otherwise be
+			// one O(matches) vector per worker, copied and discarded.
+			buf := partialPool.Get(colstore.RangesLen(parts[w]))
+			results[w], stats[w] = RefineInto(xs, ys, parts[w], region, opts, buf)
 		}(w)
 	}
 	wg.Wait()
@@ -47,6 +56,7 @@ func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, 
 	var st Stats
 	for w := range parts {
 		matches = append(matches, results[w]...)
+		partialPool.Put(results[w])
 		st.Matches += stats[w].Matches
 		st.CandidateRows += stats[w].CandidateRows
 		st.CellsTouched += stats[w].CellsTouched

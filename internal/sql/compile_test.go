@@ -1,0 +1,292 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gisnav/internal/engine"
+)
+
+// whereExpr parses src as a WHERE clause over the ahn2 point cloud.
+func whereExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	stmt, err := Parse("SELECT count(*) FROM ahn2 WHERE " + src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return stmt.Where
+}
+
+// interpretFilter is the reference: the row-at-a-time interpreter loop
+// genericFilterPC uses for non-compilable shapes.
+func interpretFilter(b *binding, e Expr, rows []int) ([]int, error) {
+	var out []int
+	ctx := &evalCtx{b: b, vtRow: -1}
+	for _, r := range rows {
+		ctx.pcRow = r
+		v, err := evalExpr(ctx, e)
+		if err != nil {
+			return nil, err
+		}
+		if v.truthy() {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// runCompiled compiles e and applies it to a copy of rows.
+func runCompiled(t *testing.T, b *binding, e Expr, rows []int) ([]int, error, bool) {
+	t.Helper()
+	cf, ok := compilePCFilter(b, e)
+	if !ok {
+		return nil, nil, false
+	}
+	cp := append([]int(nil), rows...)
+	got, err := cf.apply(cp)
+	return got, err, true
+}
+
+// assertSameFilter checks compiled and interpreted agree on rows and errors.
+func assertSameFilter(t *testing.T, b *binding, src string, rows []int, wantCompiled bool) {
+	t.Helper()
+	e := whereExpr(t, src)
+	got, cerr, ok := runCompiled(t, b, e, rows)
+	if ok != wantCompiled {
+		t.Fatalf("%q: compiled=%v, want %v", src, ok, wantCompiled)
+	}
+	if !ok {
+		return
+	}
+	want, ierr := interpretFilter(b, e, rows)
+	if (cerr != nil) != (ierr != nil) {
+		t.Fatalf("%q: compiled err %v, interpreter err %v", src, cerr, ierr)
+	}
+	if cerr != nil {
+		if cerr.Error() != ierr.Error() {
+			t.Fatalf("%q: error text %q vs %q", src, cerr, ierr)
+		}
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%q: compiled kept %d rows, interpreter %d", src, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%q: row %d: compiled %d, interpreter %d", src, i, got[i], want[i])
+		}
+	}
+}
+
+func pcBinding(pc *engine.PointCloud) *binding {
+	return &binding{pc: pc, pcNames: []string{"ahn2"}}
+}
+
+func allPCRows(pc *engine.PointCloud) []int {
+	rows := make([]int, pc.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// TestCompiledFilterMatchesInterpreter runs the compiler over the conjunct
+// shapes it claims to cover and pins them to the interpreter, on a row set
+// large enough to exercise multiple chunks.
+func TestCompiledFilterMatchesInterpreter(t *testing.T) {
+	_, pc, _, _ := testDB(t)
+	b := pcBinding(pc)
+	rows := allPCRows(pc)
+	if len(rows) <= exprChunk {
+		t.Fatalf("test cloud has %d rows; need more than one chunk (%d)", len(rows), exprChunk)
+	}
+
+	compiled := []string{
+		"z - 2*intensity > 10",
+		"x + y BETWEEN 500 AND 2500",
+		"z + 0.5 <= 25",
+		"abs(scan_angle) < 5",
+		"intensity % 7 = 3",
+		"intensity / 100 >= 5",
+		"NOT (classification = 2)",
+		"classification = 2 OR classification = 6",
+		"z > 10 AND intensity < 600",
+		"x * x + y * y < 1000000",
+		"classification - 2",  // bare numeric truthiness
+		"z / intensity < 0.1", // runtime-checked division
+		"2 > 1",               // constant conjunct
+		"z = z",               // trivially true, NaN-sensitive shape
+	}
+	for _, src := range compiled {
+		assertSameFilter(t, b, src, rows, true)
+	}
+
+	interpreted := []string{
+		"st_x(st_point(x, y)) > 500",               // function call
+		"classification = 2 OR z / 0 > 1",          // fallible operand under OR
+		"z > 1 AND intensity % (intensity - intensity) = 0", // fallible under AND
+		"nosuchcol + 1 > 0",                        // unknown column
+	}
+	for _, src := range interpreted {
+		assertSameFilter(t, b, src, rows, false)
+	}
+}
+
+// TestCompiledFilterNaNSemantics pins the interpreter's three-way-compare
+// quirk: NaN compares "equal" to everything, so `z = 0` keeps NaN rows and
+// `z <> 0` drops them; BETWEEN uses plain float compares, so NaN fails.
+func TestCompiledFilterNaNSemantics(t *testing.T) {
+	_, pc, _, _ := testDB(t)
+	zs := pc.Z()
+	zs[0], zs[1], zs[2] = math.NaN(), math.NaN(), math.NaN()
+	pc.InvalidateIndexes()
+	b := pcBinding(pc)
+	rows := allPCRows(pc)
+
+	for _, src := range []string{
+		"z = 123456", "z <> 123456", "z < 0", "z >= 0",
+		"z BETWEEN -1000 AND 1000",
+		"z - z = 0", // NaN - NaN = NaN, still "equal" to 0 under three-way
+		"abs(z) > 1",
+	} {
+		assertSameFilter(t, b, src, rows, true)
+	}
+
+	// Explicit spot check so the quirk is pinned even if the interpreter
+	// changes: row 0 (z = NaN) must survive `z = 123456`.
+	got, _, ok := runCompiled(t, b, whereExpr(t, "z = 123456"), rows)
+	if !ok {
+		t.Fatal("z = 123456 should compile")
+	}
+	if len(got) == 0 || got[0] != 0 {
+		t.Fatalf("NaN row should compare equal under =, got %v", got[:min(len(got), 5)])
+	}
+}
+
+// TestCompiledFilterRandomized cross-checks randomly generated arithmetic
+// comparisons against the interpreter.
+func TestCompiledFilterRandomized(t *testing.T) {
+	_, pc, _, _ := testDB(t)
+	b := pcBinding(pc)
+	rows := allPCRows(pc)[:3000] // a few chunks; keep the interpreter arm fast
+	rng := rand.New(rand.NewSource(7))
+
+	cols := []string{"x", "y", "z", "intensity", "classification", "scan_angle", "gps_time"}
+	var genNum func(depth int) string
+	genNum = func(depth int) string {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				return cols[rng.Intn(len(cols))]
+			}
+			return fmt.Sprintf("%g", math.Round(rng.Float64()*200-100))
+		}
+		ops := []string{"+", "-", "*"}
+		return "(" + genNum(depth-1) + " " + ops[rng.Intn(len(ops))] + " " + genNum(depth-1) + ")"
+	}
+	cmps := []string{"=", "<>", "<", "<=", ">", ">="}
+
+	for i := 0; i < 200; i++ {
+		var src string
+		switch rng.Intn(3) {
+		case 0:
+			src = genNum(2) + " " + cmps[rng.Intn(len(cmps))] + " " + genNum(2)
+		case 1:
+			src = genNum(2) + " BETWEEN " + genNum(1) + " AND " + genNum(1)
+		default:
+			src = "NOT (" + genNum(2) + " " + cmps[rng.Intn(len(cmps))] + " " + genNum(1) + ")"
+		}
+		assertSameFilter(t, b, src, rows, true)
+	}
+}
+
+// TestCompiledFilterInQueryExplain verifies end-to-end execution routes a
+// compilable generic conjunct through the vector kernel (visible in the
+// trace) and produces the same count as a forced-interpreter equivalent.
+func TestCompiledFilterInQueryExplain(t *testing.T) {
+	e, _, _, _ := testDB(t)
+	res := mustQuery(t, e, "SELECT count(*) FROM ahn2 WHERE z - 2*intensity > -500")
+	var sawCompiled bool
+	for _, s := range res.Explain.Steps {
+		if s.Op == "filter.compiled" {
+			sawCompiled = true
+		}
+		if s.Op == "filter.generic" {
+			t.Fatalf("compilable conjunct fell back to the interpreter: %+v", s)
+		}
+	}
+	if !sawCompiled {
+		t.Fatalf("no filter.compiled step in trace: %+v", res.Explain.Steps)
+	}
+
+	// st_x(st_point(x,y)) forces the interpreter on an equivalent predicate.
+	slow := mustQuery(t, e, "SELECT count(*) FROM ahn2 WHERE st_x(st_point(z - 2*intensity, 0)) > -500")
+	if res.Rows[0][0].Num != slow.Rows[0][0].Num {
+		t.Fatalf("compiled count %v != interpreter count %v", res.Rows[0][0].Num, slow.Rows[0][0].Num)
+	}
+}
+
+// TestCompiledDivisionByZeroError pins the runtime error contract.
+func TestCompiledDivisionByZeroError(t *testing.T) {
+	e, _, _, _ := testDB(t)
+	_, err := e.Query("SELECT count(*) FROM ahn2 WHERE z / (classification - classification) > 1")
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("want division-by-zero error, got %v", err)
+	}
+	_, err = e.Query("SELECT count(*) FROM ahn2 WHERE intensity % (classification - classification) = 1")
+	if err == nil || !strings.Contains(err.Error(), "modulo by zero") {
+		t.Fatalf("want modulo-by-zero error, got %v", err)
+	}
+}
+
+// TestModuloFractionalDenominator: a denominator that is non-zero as a
+// float but truncates to 0 in the int64 domain used by % must raise the
+// modulo-by-zero error, not panic the process with an integer divide —
+// in the compiled kernel, the interpreter, and a runtime-evaluated
+// denominator alike.
+func TestModuloFractionalDenominator(t *testing.T) {
+	e, pc, _, _ := testDB(t)
+	for _, q := range []string{
+		// Constant fractional denominator (compiled path).
+		"SELECT count(*) FROM ahn2 WHERE intensity % 0.5 = 0",
+		// Interpreter path (function call blocks compilation).
+		"SELECT count(*) FROM ahn2 WHERE st_x(st_point(intensity, 0)) % 0.5 = 0",
+		// Runtime-evaluated fractional denominator.
+		"SELECT count(*) FROM ahn2 WHERE intensity % (classification / 1000) = 0",
+	} {
+		_, err := e.Query(q)
+		if err == nil || !strings.Contains(err.Error(), "modulo by zero") {
+			t.Fatalf("%s: want modulo-by-zero error, got %v", q, err)
+		}
+	}
+
+	// Compiled and interpreted still agree on a fractional denominator
+	// that survives truncation.
+	b := pcBinding(pc)
+	assertSameFilter(t, b, "intensity % 2.5 = 0", allPCRows(pc), true)
+}
+
+// TestAggregateNaNParityAcrossRoutes pins min/max semantics over
+// NaN-polluted data to be identical whether the aggregate routes through
+// the engine's typed kernels (bare column) or the interpreter fallback
+// (any other expression shape): NaN values are skipped by both.
+func TestAggregateNaNParityAcrossRoutes(t *testing.T) {
+	e, pc, _, _ := testDB(t)
+	zs := pc.Z()
+	zs[0], zs[1] = math.NaN(), math.NaN()
+	pc.InvalidateIndexes()
+
+	for _, fn := range []string{"min", "max"} {
+		kernel := mustQuery(t, e, "SELECT "+fn+"(z) FROM ahn2")
+		interp := mustQuery(t, e, "SELECT "+fn+"(z + 0) FROM ahn2")
+		k, i := kernel.Rows[0][0].Num, interp.Rows[0][0].Num
+		if k != i && !(math.IsNaN(k) && math.IsNaN(i)) {
+			t.Fatalf("%s(z) = %v via kernel but %v via interpreter on NaN-polluted data", fn, k, i)
+		}
+		if math.IsNaN(k) || math.IsInf(k, 0) {
+			t.Fatalf("%s(z) = %v; NaN rows should be skipped, not poison the result", fn, k)
+		}
+	}
+}

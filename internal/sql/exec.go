@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -342,12 +343,17 @@ func (e *Executor) execPointCloud(stmt *SelectStmt, b *binding) (*Result, error)
 }
 
 // finishPointCloud runs the shared tail of point-cloud and join execution:
-// thematic predicate kernels, generic row-wise filters, projection, and the
-// pooled-vector bookkeeping. rows may be nil ("all rows"); when non-nil it
-// is treated as engine-owned and recycled once replaced or projected.
+// thematic predicate kernels, generic filters (compiled where possible),
+// projection, and the pooled-vector bookkeeping. rows may be nil ("all
+// rows"); when non-nil it is treated as engine-owned and recycled on every
+// exit path — including errors, which previously leaked it from the pool's
+// accounting.
 func (e *Executor) finishPointCloud(stmt *SelectStmt, b *binding, rows []int, preds []engine.ColumnPred, generic []Expr, ex *engine.Explain) (*Result, error) {
 	filtered, err := b.pc.FilterRows(rows, preds, ex)
 	if err != nil {
+		if rows != nil {
+			engine.RecycleRows(rows)
+		}
 		return nil, err
 	}
 	// FilterRows copies on first write, so the incoming pooled vector can
@@ -356,20 +362,37 @@ func (e *Executor) finishPointCloud(stmt *SelectStmt, b *binding, rows []int, pr
 		engine.RecycleRows(rows)
 	}
 	rows = filtered
-	rows, err = e.genericFilterPC(b, rows, generic, ex)
+	// Generic filters compact rows in place (the backing array never moves
+	// or grows), so on error the pre-call slice is still the one to recycle.
+	narrowed, err := e.genericFilterPC(b, rows, generic, ex)
 	if err != nil {
+		engine.RecycleRows(rows)
 		return nil, err
 	}
+	rows = narrowed
 	res, err := e.output(stmt, b, rows, -1, ex)
 	engine.RecycleRows(rows)
 	return res, err
 }
 
-// genericFilterPC applies unrecognised conjuncts row-by-row.
+// genericFilterPC applies conjuncts the planner didn't recognise. Shapes
+// the expression compiler covers (arithmetic comparisons, BETWEEN, NOT,
+// error-free AND/OR, bare numeric truthiness) run as chunked vector
+// kernels; everything else falls back to the row-at-a-time interpreter.
+// Both paths compact rows in place without moving its backing array.
 func (e *Executor) genericFilterPC(b *binding, rows []int, generic []Expr, ex *engine.Explain) ([]int, error) {
 	for _, g := range generic {
 		start := time.Now()
 		in := len(rows)
+		if cf, ok := compilePCFilter(b, g); ok {
+			narrowed, err := cf.apply(rows)
+			if err != nil {
+				return nil, err
+			}
+			rows = narrowed
+			ex.Add("filter.compiled", g.exprString(), in, len(rows), time.Since(start))
+			continue
+		}
 		out := rows[:0]
 		ctx := &evalCtx{b: b, vtRow: -1}
 		for _, r := range rows {
@@ -393,7 +416,20 @@ func (e *Executor) genericFilterPC(b *binding, rows []int, generic []Expr, ex *e
 func (e *Executor) execVector(stmt *SelectStmt, b *binding) (*Result, error) {
 	ex := &engine.Explain{}
 	conjs := splitConjuncts(stmt.Where)
-	rows := allRows(b.vt.Len())
+	rows, err := e.filterVTRows(b, conjs, allRows(b.vt.Len()), ex)
+	if err != nil {
+		return nil, err
+	}
+	return e.output(stmt, b, nil, 0, ex, rows...)
+}
+
+// filterVTRows narrows a vector-table row set with the given conjuncts,
+// routing the recognised shapes through the table's indexes — `class = 'x'`
+// through the class dictionary, `ST_Intersects(geom, <const>)` through the
+// STR R-tree — and everything else through the row-wise interpreter. It is
+// shared by the pure-vector path and the vector phase of joins, so both see
+// the same fast paths.
+func (e *Executor) filterVTRows(b *binding, conjs []Expr, rows []int, ex *engine.Explain) ([]int, error) {
 	for _, c := range conjs {
 		// class = 'x' fast path.
 		if cls, ok := vtClassEquality(b, c); ok {
@@ -425,7 +461,7 @@ func (e *Executor) execVector(stmt *SelectStmt, b *binding) (*Result, error) {
 		rows = out
 		ex.Add("filter.generic", c.exprString(), in, len(rows), time.Since(start))
 	}
-	return e.output(stmt, b, nil, 0, ex, rows...)
+	return rows, nil
 }
 
 func vtClassEquality(b *binding, e Expr) (string, bool) {
@@ -487,29 +523,12 @@ func (e *Executor) execJoin(stmt *SelectStmt, b *binding) (*Result, error) {
 		return nil, fmt.Errorf("sql: joins require a spatial predicate linking the tables (e.g. ST_DWithin)")
 	}
 
-	// Phase 1: vector side.
-	vtRows := allRows(b.vt.Len())
-	for _, c := range vtConjs {
-		if cls, ok := vtClassEquality(b, c); ok {
-			vtRows = intersectSorted(vtRows, b.vt.SelectClass(cls, ex))
-			continue
-		}
-		start := time.Now()
-		in := len(vtRows)
-		out := vtRows[:0]
-		ctx := &evalCtx{b: b, pcRow: -1}
-		for _, r := range vtRows {
-			ctx.vtRow = r
-			v, err := evalExpr(ctx, c)
-			if err != nil {
-				return nil, err
-			}
-			if v.truthy() {
-				out = append(out, r)
-			}
-		}
-		vtRows = out
-		ex.Add("filter.generic", c.exprString(), in, len(vtRows), time.Since(start))
+	// Phase 1: vector side, through the same helper as pure vector queries
+	// so spatial conjuncts (ST_Intersects with a constant geometry) hit the
+	// R-tree here too instead of falling to the row-wise interpreter.
+	vtRows, err := e.filterVTRows(b, vtConjs, allRows(b.vt.Len()), ex)
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 2: spatial join.
@@ -752,7 +771,13 @@ func (e *Executor) computeAggregate(b *binding, f FuncCall, rows []int, isVector
 		return v, err
 	}
 	ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
-	var sum, lo, hi float64
+	// Accumulation matches the engine's aggregate kernels exactly (±Inf
+	// seeds, strict compares), so the same aggregate gives the same answer
+	// whether it routes through kernelAggregate or this fallback: sum/avg
+	// propagate NaN, min/max skip NaN values (they fail every ordered
+	// comparison), and an all-NaN selection reports the ±Inf identities.
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
 	n := 0
 	for _, r := range rows {
 		setRow(ctx, isVector, r)
@@ -763,15 +788,11 @@ func (e *Executor) computeAggregate(b *binding, f FuncCall, rows []int, isVector
 		if v.Kind != KindNum {
 			return Value{}, fmt.Errorf("sql: %s needs numeric input", f.Name)
 		}
-		if n == 0 {
-			lo, hi = v.Num, v.Num
-		} else {
-			if v.Num < lo {
-				lo = v.Num
-			}
-			if v.Num > hi {
-				hi = v.Num
-			}
+		if v.Num < lo {
+			lo = v.Num
+		}
+		if v.Num > hi {
+			hi = v.Num
 		}
 		sum += v.Num
 		n++

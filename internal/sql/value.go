@@ -6,6 +6,7 @@ import (
 
 	"gisnav/internal/engine"
 	"gisnav/internal/geom"
+	"gisnav/internal/grid"
 )
 
 // ValueKind tags runtime values.
@@ -263,7 +264,10 @@ func evalBinary(ctx *evalCtx, e BinaryExpr) (Value, error) {
 			}
 			return numVal(l.Num / r.Num), nil
 		default:
-			if r.Num == 0 {
+			// Modulo runs in the int64 domain, so the zero check must too:
+			// a fractional denominator like 0.5 truncates to 0 and would
+			// otherwise panic the process instead of erroring.
+			if int64(r.Num) == 0 {
 				return Value{}, fmt.Errorf("sql: modulo by zero")
 			}
 			return numVal(float64(int64(l.Num) % int64(r.Num))), nil
@@ -426,7 +430,14 @@ func evalFunc(ctx *evalCtx, f FuncCall) (Value, error) {
 		if err := wantArgs(f, argv, KindGeom, KindGeom, KindNum); err != nil {
 			return Value{}, err
 		}
-		return boolVal(geom.GeometryDistance(argv[0].Geom, argv[1].Geom) <= argv[2].Num), nil
+		// grid.ValidDistance is the single validity rule for distance
+		// thresholds, shared with the accelerated BufferRegion path so the
+		// scalar and region forms of the same query cannot diverge.
+		d := argv[2].Num
+		if !grid.ValidDistance(d) {
+			return boolVal(false), nil
+		}
+		return boolVal(geom.GeometryDistance(argv[0].Geom, argv[1].Geom) <= d), nil
 	case "st_distance":
 		if err := wantArgs(f, argv, KindGeom, KindGeom); err != nil {
 			return Value{}, err
