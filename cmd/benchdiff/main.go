@@ -1,0 +1,120 @@
+// Command benchdiff guards the benchmark trajectory: it compares a fresh
+// pcbench JSON report against the committed baseline (BENCH_filter.json)
+// and fails when a guarded record regressed past the threshold. CI runs it
+// after regenerating the report so a PR that slows the SQL steady-state
+// fast path down by more than the threshold fails the build instead of
+// silently shipping.
+//
+// Only steady-state arms are guarded by default: they are the contractual
+// fast path, and their microsecond scale is far less noisy across runs
+// than cold arms that include index builds. The threshold is deliberately
+// loose (2x) because the baseline and the CI runner are different
+// hardware; it catches architectural regressions (a cache stops hitting,
+// a pool stops pooling), not percent-level drift.
+//
+// Usage:
+//
+//	benchdiff [-threshold 2.0] [-experiment repeated] [-prefix sql] baseline.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// record mirrors the fields of pcbench's jsonRecord that the diff needs.
+type record struct {
+	Experiment string `json:"experiment"`
+	Name       string `json:"name"`
+	Arm        string `json:"arm"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+// report mirrors pcbench's jsonReport envelope.
+type report struct {
+	Records []record `json:"records"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func key(r record) string { return r.Experiment + "|" + r.Name + "|" + r.Arm }
+
+func main() {
+	threshold := flag.Float64("threshold", 2.0, "fail when new/baseline time exceeds this ratio")
+	experiment := flag.String("experiment", "repeated", "guard records of this experiment (empty = all)")
+	prefix := flag.String("prefix", "sql", "guard records whose name has this prefix (empty = all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json new.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	baseline := make(map[string]int64, len(base.Records))
+	for _, r := range base.Records {
+		baseline[key(r)] = r.NsPerOp
+	}
+
+	guarded := func(r record) bool {
+		if *experiment != "" && r.Experiment != *experiment {
+			return false
+		}
+		if *prefix != "" && !strings.HasPrefix(r.Name, *prefix) {
+			return false
+		}
+		return strings.Contains(r.Arm, "steady")
+	}
+
+	matched, failed := 0, 0
+	for _, r := range fresh.Records {
+		if !guarded(r) {
+			continue
+		}
+		old, ok := baseline[key(r)]
+		if !ok {
+			// A renamed or new record has no baseline yet; flag it so a
+			// rename can't silently retire the guard.
+			fmt.Printf("SKIP %-45s no baseline record\n", key(r))
+			continue
+		}
+		matched++
+		ratio := float64(r.NsPerOp) / float64(old)
+		verdict := "ok"
+		if ratio > *threshold {
+			verdict = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-4s %-45s %10dns -> %10dns  (%.2fx)\n", verdict, key(r), old, r.NsPerOp, ratio)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no guarded records matched the baseline — the guard is vacuous")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d guarded record(s) regressed past %.1fx\n", failed, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d guarded record(s) within %.1fx of baseline\n", matched, *threshold)
+}

@@ -48,7 +48,14 @@ func (r *jsonReport) add(experiment, name, arm string, rows, matches int, d time
 // addAllocs appends one measurement carrying an allocation count; pass a
 // negative allocs for arms where it wasn't measured.
 func (r *jsonReport) addAllocs(experiment, name, arm string, rows, matches int, d time.Duration, allocs float64) {
-	r.add(experiment, name, arm, rows, matches, d, 0)
+	r.addFull(experiment, name, arm, rows, matches, d, 0, allocs)
+}
+
+// addFull appends one measurement with both a speedup (vs the
+// experiment's baseline arm; 0 omits it) and an allocation count
+// (negative omits it).
+func (r *jsonReport) addFull(experiment, name, arm string, rows, matches int, d time.Duration, speedup, allocs float64) {
+	r.add(experiment, name, arm, rows, matches, d, speedup)
 	if allocs >= 0 {
 		r.Records[len(r.Records)-1].AllocsPerOp = &allocs
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gisnav/internal/colstore"
@@ -40,6 +41,13 @@ type PointCloud struct {
 	// dropped together with the imprints on InvalidateIndexes, because both
 	// bind to column backing arrays that appends may move.
 	plans planCache
+
+	// epoch counts index invalidations. Everything that binds to a column's
+	// backing array across calls — compiled kernels, the SQL layer's
+	// prepared plans — captures the epoch before binding and revalidates it
+	// before reuse, so an append (which may move backing arrays) can never
+	// serve state bound to the old arrays.
+	epoch atomic.Uint64
 }
 
 // NewPointCloud returns an empty flat table with the 26-attribute schema.
@@ -107,12 +115,22 @@ func (pc *PointCloud) AppendLAS(pts []las.Point) {
 // load path): they can move column backing arrays, so cached kernels and
 // imprints bound to the old arrays must not serve another query.
 func (pc *PointCloud) InvalidateIndexes() {
+	// Bump first: a plan prepared concurrently that read the old epoch will
+	// observe the mismatch and replan, the safe direction (appends still
+	// require external exclusion from in-flight queries, as below).
+	pc.epoch.Add(1)
 	pc.mu.Lock()
 	pc.imprintX, pc.imprintY = nil, nil
 	pc.colImprints = nil
 	pc.mu.Unlock()
 	pc.plans.invalidate()
 }
+
+// Epoch returns the table's invalidation epoch: a monotonic counter bumped
+// by every InvalidateIndexes call (and therefore by every append path).
+// Capture it before binding to column backing arrays; a later mismatch
+// means the arrays may have moved and the binding must be rebuilt.
+func (pc *PointCloud) Epoch() uint64 { return pc.epoch.Load() }
 
 // HasImprints reports whether the coordinate imprints are currently built.
 func (pc *PointCloud) HasImprints() bool {

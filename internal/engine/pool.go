@@ -20,6 +20,12 @@ var (
 // getRowBuf acquires a pooled selection vector sized for capHint rows.
 func getRowBuf(capHint int) []int { return rowPool.Get(capHint) }
 
+// AcquireRows draws an empty selection vector from the engine's pool — the
+// exported counterpart of the internal buffer getter for layers above the
+// engine (the SQL executor's vector-table row sets). Pair every acquire
+// with RecycleRows.
+func AcquireRows(capHint int) []int { return getRowBuf(capHint) }
+
 // RecycleRows returns a selection vector previously produced by FilterRows,
 // FilterRangeIndexed, FilterRangeScan, SelectRegionRows, or Selection.Rows
 // to the engine's pool. The caller must not touch rows afterwards. Recycling

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gisnav/internal/colstore"
@@ -25,6 +26,11 @@ type VectorTable struct {
 
 	mu    sync.Mutex
 	index *rtree.Tree
+
+	// epoch counts appends, mirroring PointCloud.Epoch: prepared SQL plans
+	// capture it (their star expansion and conjunct classification read the
+	// attribute schema) and replan when it moves.
+	epoch atomic.Uint64
 }
 
 // NewVectorTable returns an empty vector table.
@@ -63,10 +69,14 @@ func (vt *VectorTable) Append(id int64, class, name string, g geom.Geometry, att
 			col.Append(0)
 		}
 	}
+	vt.epoch.Add(1) // bump first; see PointCloud.InvalidateIndexes
 	vt.mu.Lock()
 	vt.index = nil // appended features invalidate the spatial index
 	vt.mu.Unlock()
 }
+
+// Epoch returns the table's append epoch (see PointCloud.Epoch).
+func (vt *VectorTable) Epoch() uint64 { return vt.epoch.Load() }
 
 // ensureIndex builds the envelope R-tree if absent, returning it.
 func (vt *VectorTable) ensureIndex() *rtree.Tree {
@@ -128,8 +138,16 @@ func (vt *VectorTable) NumericAttrs() []string {
 // SelectClass returns the rows whose class equals class, resolving the
 // constant through the dictionary once (no string compares per row).
 func (vt *VectorTable) SelectClass(class string, ex *Explain) []int {
+	return vt.SelectClassInto(class, nil, ex)
+}
+
+// SelectClassInto is SelectClass appending into rows — callers on the
+// repeated-query path pass a pooled buffer (AcquireRows) so the class scan
+// allocates nothing steady-state. ex may be nil to skip the trace (and its
+// formatting allocations).
+func (vt *VectorTable) SelectClassInto(class string, rows []int, ex *Explain) []int {
 	start := time.Now()
-	var rows []int
+	in := len(rows)
 	if code, ok := vt.classes.Code(class); ok {
 		for i, c := range vt.classes.Codes() {
 			if c == code {
@@ -137,26 +155,38 @@ func (vt *VectorTable) SelectClass(class string, ex *Explain) []int {
 			}
 		}
 	}
-	ex.Add("filter.class", fmt.Sprintf("class = %q", class), vt.Len(), len(rows), time.Since(start))
+	if ex != nil {
+		ex.Add("filter.class", fmt.Sprintf("class = %q", class), vt.Len(), len(rows)-in, time.Since(start))
+	}
 	return rows
 }
 
 // SelectIntersects returns the rows whose geometry intersects g. The STR
 // R-tree over feature envelopes prefilters; survivors get the exact test.
 func (vt *VectorTable) SelectIntersects(g geom.Geometry, ex *Explain) []int {
+	return vt.SelectIntersectsInto(g, nil, ex)
+}
+
+// SelectIntersectsInto is SelectIntersects appending into rows (see
+// SelectClassInto). Appended row ids ascend: the R-tree reports candidates
+// in ascending id order, so the result composes with sorted-intersection
+// consumers.
+func (vt *VectorTable) SelectIntersectsInto(g geom.Geometry, rows []int, ex *Explain) []int {
 	start := time.Now()
 	idx := vt.ensureIndex()
 	env := g.Envelope()
 	candidates := idx.SearchIDs(env)
-	var rows []int
+	in := len(rows)
 	for _, i := range candidates {
 		if geom.Intersects(vt.geoms[i], g) {
 			rows = append(rows, i)
 		}
 	}
-	ex.Add("vector.intersects",
-		fmt.Sprintf("rtree pass %d/%d", len(candidates), vt.Len()),
-		vt.Len(), len(rows), time.Since(start))
+	if ex != nil {
+		ex.Add("vector.intersects",
+			fmt.Sprintf("rtree pass %d/%d", len(candidates), vt.Len()),
+			vt.Len(), len(rows)-in, time.Since(start))
+	}
 	return rows
 }
 

@@ -26,6 +26,62 @@ func RefineParallel(xs, ys []float64, cand []colstore.Range, region Region, opts
 // rows total budget).
 var partialPool = colstore.Pool[int]{MaxElts: 1 << 25}
 
+// refineTask is one partition of a parallel refinement pass, handed to the
+// package's resident worker set.
+type refineTask struct {
+	xs, ys []float64
+	cand   []colstore.Range
+	region Region
+	opts   Options
+	slot   int
+	sc     *refineScratch
+}
+
+// refineScratch is the reusable fan-out scaffolding of one parallel
+// refinement pass: the partition range storage and the per-partition result
+// and stat slots. It recycles through a sync.Pool so a steady query stream
+// stops allocating O(workers) bookkeeping per query.
+type refineScratch struct {
+	partBuf []colstore.Range // backing storage for every partition's ranges
+	cuts    []int            // partition end offsets into partBuf
+	parts   [][]colstore.Range
+	results [][]int
+	stats   []Stats
+	wg      sync.WaitGroup
+}
+
+var refineScratchPool = sync.Pool{New: func() any { return new(refineScratch) }}
+
+// The resident refinement worker set: GOMAXPROCS goroutines started lazily
+// on the first parallel pass, consuming partition tasks from one channel.
+// Replacing per-query goroutine+closure fan-out with resident workers keeps
+// the parallel arm allocation-free once warm; requesting more workers than
+// the set holds still completes (excess partitions queue), it just shares
+// the resident cores.
+var (
+	refineOnce  sync.Once
+	refineTasks chan refineTask
+)
+
+func ensureRefineWorkers() {
+	refineOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		refineTasks = make(chan refineTask, 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range refineTasks {
+					// Per-partition match buffers are pooled: the dominant
+					// per-query allocation of the parallel arm would
+					// otherwise be one O(matches) vector per worker.
+					buf := partialPool.Get(colstore.RangesLen(t.cand))
+					t.sc.results[t.slot], t.sc.stats[t.slot] = RefineInto(t.xs, t.ys, t.cand, t.region, t.opts, buf)
+					t.sc.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
 // RefineParallelInto is RefineParallel appending into a caller-provided
 // matches slice (see RefineInto).
 func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, opts Options, workers int, matches []int) ([]int, Stats) {
@@ -36,82 +92,108 @@ func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, 
 	if workers == 1 || total < 4096 {
 		return RefineInto(xs, ys, cand, region, opts, matches)
 	}
-	parts := SplitRanges(cand, workers)
-	results := make([][]int, len(parts))
-	stats := make([]Stats, len(parts))
-	var wg sync.WaitGroup
-	for w := range parts {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Per-partition match buffers are pooled: the dominant
-			// per-query allocation of the parallel arm would otherwise be
-			// one O(matches) vector per worker, copied and discarded.
-			buf := partialPool.Get(colstore.RangesLen(parts[w]))
-			results[w], stats[w] = RefineInto(xs, ys, parts[w], region, opts, buf)
-		}(w)
+	ensureRefineWorkers()
+	sc := refineScratchPool.Get().(*refineScratch)
+	sc.split(cand, workers)
+	n := len(sc.parts)
+	// Partitions beyond the first go to the resident workers; the caller
+	// refines partition 0 itself instead of idling on the WaitGroup.
+	sc.wg.Add(n - 1)
+	for w := 1; w < n; w++ {
+		refineTasks <- refineTask{xs: xs, ys: ys, cand: sc.parts[w], region: region, opts: opts, slot: w, sc: sc}
 	}
-	wg.Wait()
+	buf := partialPool.Get(colstore.RangesLen(sc.parts[0]))
+	sc.results[0], sc.stats[0] = RefineInto(xs, ys, sc.parts[0], region, opts, buf)
+	sc.wg.Wait()
 
 	var st Stats
-	for w := range parts {
-		matches = append(matches, results[w]...)
-		partialPool.Put(results[w])
-		st.Matches += stats[w].Matches
-		st.CandidateRows += stats[w].CandidateRows
-		st.CellsTouched += stats[w].CellsTouched
-		st.InsideCells += stats[w].InsideCells
-		st.BoundaryCells += stats[w].BoundaryCells
-		st.OutsideCells += stats[w].OutsideCells
-		st.BulkAccepted += stats[w].BulkAccepted
-		st.ExactTests += stats[w].ExactTests
-		if stats[w].GridCellsX > st.GridCellsX {
-			st.GridCellsX = stats[w].GridCellsX
+	for w := 0; w < n; w++ {
+		matches = append(matches, sc.results[w]...)
+		partialPool.Put(sc.results[w])
+		sc.results[w] = nil
+		st.Matches += sc.stats[w].Matches
+		st.CandidateRows += sc.stats[w].CandidateRows
+		st.CellsTouched += sc.stats[w].CellsTouched
+		st.InsideCells += sc.stats[w].InsideCells
+		st.BoundaryCells += sc.stats[w].BoundaryCells
+		st.OutsideCells += sc.stats[w].OutsideCells
+		st.BulkAccepted += sc.stats[w].BulkAccepted
+		st.ExactTests += sc.stats[w].ExactTests
+		if sc.stats[w].GridCellsX > st.GridCellsX {
+			st.GridCellsX = sc.stats[w].GridCellsX
 		}
-		if stats[w].GridCellsY > st.GridCellsY {
-			st.GridCellsY = stats[w].GridCellsY
+		if sc.stats[w].GridCellsY > st.GridCellsY {
+			st.GridCellsY = sc.stats[w].GridCellsY
 		}
 	}
+	refineScratchPool.Put(sc)
 	return matches, st
 }
 
-// SplitRanges cuts a sorted range list into n partitions of roughly equal
-// row counts, preserving order (partition i's rows all precede partition
-// i+1's). n <= 0 selects GOMAXPROCS. Query operators use it to fan block
-// kernels and refinement passes across cores without reordering results.
-func SplitRanges(cand []colstore.Range, n int) [][]colstore.Range {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
+// split cuts cand into at most n order-preserving partitions of roughly
+// equal row counts, reusing the scratch's backing storage (one shared
+// backing array plus offsets). It is the single partitioning definition;
+// SplitRanges is a thin allocating wrapper over it.
+func (sc *refineScratch) split(cand []colstore.Range, n int) {
 	total := colstore.RangesLen(cand)
-	if total == 0 || n <= 1 {
-		return [][]colstore.Range{cand}
-	}
 	target := (total + n - 1) / n
-	var parts [][]colstore.Range
-	var current []colstore.Range
+	sc.partBuf = sc.partBuf[:0]
+	sc.cuts = sc.cuts[:0]
 	currentRows := 0
 	for _, r := range cand {
 		for r.Len() > 0 {
 			room := target - currentRows
 			if room <= 0 {
-				parts = append(parts, current)
-				current, currentRows = nil, 0
+				sc.cuts = append(sc.cuts, len(sc.partBuf))
+				currentRows = 0
 				room = target
 			}
 			take := r.Len()
 			if take > room {
 				take = room
 			}
-			current = append(current, colstore.Range{Start: r.Start, End: r.Start + take})
+			sc.partBuf = append(sc.partBuf, colstore.Range{Start: r.Start, End: r.Start + take})
 			currentRows += take
 			r.Start += take
 		}
 	}
-	if len(current) > 0 {
-		parts = append(parts, current)
+	if len(sc.partBuf) > 0 && (len(sc.cuts) == 0 || sc.cuts[len(sc.cuts)-1] != len(sc.partBuf)) {
+		sc.cuts = append(sc.cuts, len(sc.partBuf))
 	}
-	return parts
+	sc.parts = sc.parts[:0]
+	prev := 0
+	for _, cut := range sc.cuts {
+		sc.parts = append(sc.parts, sc.partBuf[prev:cut:cut])
+		prev = cut
+	}
+	if cap(sc.results) < len(sc.parts) {
+		sc.results = make([][]int, len(sc.parts))
+		sc.stats = make([]Stats, len(sc.parts))
+		return
+	}
+	sc.results = sc.results[:len(sc.parts)]
+	sc.stats = sc.stats[:len(sc.parts)]
+	for i := range sc.stats {
+		sc.stats[i] = Stats{}
+	}
+}
+
+// SplitRanges cuts a sorted range list into n partitions of roughly equal
+// row counts, preserving order (partition i's rows all precede partition
+// i+1's). n <= 0 selects GOMAXPROCS. Query operators use it to fan block
+// kernels and refinement passes across cores without reordering results.
+// The returned partitions share one backing array; treat them as
+// read-only.
+func SplitRanges(cand []colstore.Range, n int) [][]colstore.Range {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if colstore.RangesLen(cand) == 0 || n <= 1 {
+		return [][]colstore.Range{cand}
+	}
+	var sc refineScratch
+	sc.split(cand, n)
+	return sc.parts
 }
 
 // RefineAuto picks the parallel path for large candidate sets and the

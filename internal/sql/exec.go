@@ -1,896 +1,128 @@
+// The SQL front door. The heavy lifting lives in the prepare/execute
+// split: plan.go builds an immutable queryPlan per statement, run.go
+// executes it. This file holds the Executor itself and its bounded
+// statement cache, which memoises PreparedQuery objects by exact statement
+// text so the interactive workload's repeated statements skip parsing,
+// binding, conjunct classification and kernel compilation entirely; table
+// epochs (captured in the plan, revalidated per run) keep cached plans
+// from ever serving state bound to moved arrays.
 package sql
 
 import (
-	"fmt"
-	"math"
-	"sort"
-	"strings"
-	"time"
+	"sync"
+	"sync/atomic"
 
 	"gisnav/internal/engine"
-	"gisnav/internal/geom"
-	"gisnav/internal/grid"
 )
 
 // Executor runs SQL statements against an engine catalog.
 type Executor struct {
-	db *engine.DB
+	db    *engine.DB
+	stmts stmtCache
 }
 
 // New returns an executor over db.
 func New(db *engine.DB) *Executor { return &Executor{db: db} }
 
 // Result is a completed query: column names, value rows, and the operator
-// trace (the demo's per-operator EXPLAIN view).
+// trace (the demo's per-operator EXPLAIN view; nil for untraced runs).
+// Columns is shared with the statement's plan — treat it as read-only.
 type Result struct {
 	Columns []string
 	Rows    [][]Value
 	Explain *engine.Explain
 }
 
-// Query parses, plans and executes one SELECT statement.
+// Query executes one SELECT statement, serving the plan from the
+// executor's statement cache when the exact same text ran before. Cached
+// statements skip parse/bind/classify/compile; epoch revalidation inside
+// Run guarantees an append between two calls is observed by the second.
 func (e *Executor) Query(src string) (*Result, error) {
-	stmt, err := Parse(src)
+	if pq := e.stmts.lookup(src); pq != nil {
+		return pq.RunTraced()
+	}
+	pq, err := e.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Exec(stmt)
+	e.stmts.insert(src, pq)
+	return pq.RunTraced()
 }
 
-// Exec executes a parsed statement.
+// Exec plans and executes a parsed statement, bypassing the statement
+// cache (there is no reliable text key for an externally built AST).
 func (e *Executor) Exec(stmt *SelectStmt) (*Result, error) {
-	b, err := e.bind(stmt.From)
+	pq, err := e.PrepareStmt(stmt)
 	if err != nil {
 		return nil, err
 	}
-	switch {
-	case b.pc != nil && b.vt != nil:
-		return e.execJoin(stmt, b)
-	case b.pc != nil:
-		return e.execPointCloud(stmt, b)
-	case b.vt != nil:
-		return e.execVector(stmt, b)
-	default:
-		return nil, fmt.Errorf("sql: no tables bound")
-	}
+	return pq.RunTraced()
 }
 
-// bind resolves FROM references against the catalog.
-func (e *Executor) bind(from []TableRef) (*binding, error) {
-	if len(from) == 0 {
-		return nil, fmt.Errorf("sql: FROM clause required")
-	}
-	if len(from) > 2 {
-		return nil, fmt.Errorf("sql: at most two tables supported (point cloud × vector join)")
-	}
-	b := &binding{}
-	for _, ref := range from {
-		names := []string{ref.Name}
-		if ref.Alias != "" {
-			names = append(names, ref.Alias)
-		}
-		if e.db.IsPointCloud(ref.Name) {
-			if b.pc != nil {
-				return nil, fmt.Errorf("sql: only one point cloud table per query")
-			}
-			pc, err := e.db.PointCloud(ref.Name)
-			if err != nil {
-				return nil, err
-			}
-			b.pc = pc
-			b.pcNames = names
-			continue
-		}
-		vt, err := e.db.Vector(ref.Name)
-		if err != nil {
-			return nil, fmt.Errorf("sql: unknown table %q", ref.Name)
-		}
-		if b.vt != nil {
-			return nil, fmt.Errorf("sql: only one vector table per query")
-		}
-		b.vt = vt
-		b.vtNames = names
-	}
-	return b, nil
+// --- statement cache --------------------------------------------------------
+
+// maxCachedStmts bounds the statement cache. A navigation session re-uses
+// a handful of statement texts; an ad-hoc workload generating unbounded
+// distinct texts must not grow the map forever, so past the bound the
+// whole cache is dropped and rebuilt from the live working set (the same
+// policy as the engine's kernel plan cache).
+const maxCachedStmts = 256
+
+// stmtCache memoises PreparedQuery objects by exact statement text.
+type stmtCache struct {
+	mu    sync.Mutex
+	stmts map[string]*PreparedQuery
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
 }
 
-// --- conjunct classification ------------------------------------------------
-
-// refUse records which tables an expression touches.
-type refUse struct {
-	pc, vt bool
-}
-
-// usage walks e and classifies its column references under b.
-func usage(b *binding, e Expr) refUse {
-	var u refUse
-	var walk func(Expr)
-	walk = func(e Expr) {
-		switch t := e.(type) {
-		case ColumnRef:
-			name := strings.ToLower(t.Name)
-			if t.Table != "" {
-				if b.isPCName(t.Table) && !b.isVTName(t.Table) {
-					u.pc = true
-					return
-				}
-				if b.isVTName(t.Table) && !b.isPCName(t.Table) {
-					u.vt = true
-					return
-				}
-			}
-			// Unqualified: resolve by column name.
-			if b.pc != nil && b.pc.Column(name) != nil {
-				u.pc = true
-				return
-			}
-			if b.vt != nil {
-				if name == vcID || name == vcClass || name == vcName || name == vcGeom {
-					u.vt = true
-					return
-				}
-				for _, attr := range b.vt.NumericAttrs() {
-					if strings.EqualFold(attr, name) {
-						u.vt = true
-						return
-					}
-				}
-			}
-		case FuncCall:
-			for _, a := range t.Args {
-				walk(a)
-			}
-		case BinaryExpr:
-			walk(t.L)
-			walk(t.R)
-		case NotExpr:
-			walk(t.E)
-		case BetweenExpr:
-			walk(t.Subject)
-			walk(t.Lo)
-			walk(t.Hi)
-		}
-	}
-	walk(e)
-	return u
-}
-
-// constGeom evaluates e without row context, expecting a geometry.
-func constGeom(b *binding, e Expr) (geom.Geometry, bool) {
-	v, err := evalExpr(&evalCtx{b: b, pcRow: -1, vtRow: -1}, e)
-	if err != nil || v.Kind != KindGeom {
-		return nil, false
-	}
-	return v.Geom, true
-}
-
-// constNum evaluates e without row context, expecting a number.
-func constNum(b *binding, e Expr) (float64, bool) {
-	v, err := evalExpr(&evalCtx{b: b, pcRow: -1, vtRow: -1}, e)
-	if err != nil || v.Kind != KindNum {
-		return 0, false
-	}
-	return v.Num, true
-}
-
-// isPCPoint recognises ST_Point(x, y) over the point cloud's coordinate
-// columns — the shape the imprint filter accelerates.
-func isPCPoint(b *binding, e Expr) bool {
-	f, ok := e.(FuncCall)
-	if !ok || f.Name != "st_point" || len(f.Args) != 2 {
-		return false
-	}
-	cx, okx := f.Args[0].(ColumnRef)
-	cy, oky := f.Args[1].(ColumnRef)
-	if !okx || !oky {
-		return false
-	}
-	return b.isPCName(cx.Table) && b.isPCName(cy.Table) &&
-		strings.EqualFold(cx.Name, engine.ColX) && strings.EqualFold(cy.Name, engine.ColY)
-}
-
-// isVTGeom recognises a reference to the vector table's geometry column.
-func isVTGeom(b *binding, e Expr) bool {
-	c, ok := e.(ColumnRef)
-	return ok && strings.EqualFold(c.Name, vcGeom) && b.isVTName(c.Table)
-}
-
-// pcRegionFromConjunct extracts an accelerable spatial region predicate over
-// the point cloud, if e has one of the recognised shapes.
-func pcRegionFromConjunct(b *binding, e Expr) (grid.Region, bool) {
-	f, ok := e.(FuncCall)
-	if !ok {
-		return nil, false
-	}
-	switch f.Name {
-	case "st_contains", "st_covers", "st_intersects":
-		if len(f.Args) != 2 {
-			return nil, false
-		}
-		for i := 0; i < 2; i++ {
-			g, gok := constGeom(b, f.Args[i])
-			if gok && isPCPoint(b, f.Args[1-i]) {
-				return grid.GeometryRegion{G: g}, true
-			}
-			// st_contains is asymmetric: the geometry must be first.
-			if f.Name != "st_intersects" {
-				break
-			}
-		}
-	case "st_within":
-		if len(f.Args) != 2 {
-			return nil, false
-		}
-		if g, gok := constGeom(b, f.Args[1]); gok && isPCPoint(b, f.Args[0]) {
-			return grid.GeometryRegion{G: g}, true
-		}
-	case "st_dwithin":
-		if len(f.Args) != 3 {
-			return nil, false
-		}
-		d, dok := constNum(b, f.Args[2])
-		if !dok {
-			return nil, false
-		}
-		for i := 0; i < 2; i++ {
-			g, gok := constGeom(b, f.Args[i])
-			if gok && isPCPoint(b, f.Args[1-i]) {
-				return grid.BufferRegion{G: g, D: d}, true
-			}
-		}
-	}
-	return nil, false
-}
-
-// pcPredFromConjunct extracts a thematic column predicate.
-func pcPredFromConjunct(b *binding, e Expr) (engine.ColumnPred, bool) {
-	switch t := e.(type) {
-	case BinaryExpr:
-		ops := map[string]engine.CmpOp{
-			"=": engine.CmpEQ, "<>": engine.CmpNE, "<": engine.CmpLT,
-			"<=": engine.CmpLE, ">": engine.CmpGT, ">=": engine.CmpGE,
-		}
-		op, ok := ops[t.Op]
-		if !ok {
-			return engine.ColumnPred{}, false
-		}
-		if col, v, ok := colAndConst(b, t.L, t.R); ok {
-			return engine.ColumnPred{Column: col, Op: op, Value: v}, true
-		}
-		if col, v, ok := colAndConst(b, t.R, t.L); ok {
-			return engine.ColumnPred{Column: col, Op: flipOp(op), Value: v}, true
-		}
-	case BetweenExpr:
-		col, okc := pcColumnName(b, t.Subject)
-		lo, okl := constNum(b, t.Lo)
-		hi, okh := constNum(b, t.Hi)
-		if okc && okl && okh {
-			return engine.ColumnPred{Column: col, Op: engine.CmpBetween, Value: lo, Value2: hi}, true
-		}
-	}
-	return engine.ColumnPred{}, false
-}
-
-func colAndConst(b *binding, colSide, constSide Expr) (string, float64, bool) {
-	col, ok := pcColumnName(b, colSide)
-	if !ok {
-		return "", 0, false
-	}
-	v, ok := constNum(b, constSide)
-	if !ok {
-		return "", 0, false
-	}
-	return col, v, true
-}
-
-func pcColumnName(b *binding, e Expr) (string, bool) {
-	c, ok := e.(ColumnRef)
-	if !ok || !b.isPCName(c.Table) || b.pc == nil {
-		return "", false
-	}
-	name := strings.ToLower(c.Name)
-	if b.pc.Column(name) == nil {
-		return "", false
-	}
-	return name, true
-}
-
-func flipOp(op engine.CmpOp) engine.CmpOp {
-	switch op {
-	case engine.CmpLT:
-		return engine.CmpGT
-	case engine.CmpLE:
-		return engine.CmpGE
-	case engine.CmpGT:
-		return engine.CmpLT
-	case engine.CmpGE:
-		return engine.CmpLE
-	default:
-		return op
-	}
-}
-
-// --- point cloud execution ---------------------------------------------------
-
-func (e *Executor) execPointCloud(stmt *SelectStmt, b *binding) (*Result, error) {
-	ex := &engine.Explain{}
-	conjs := splitConjuncts(stmt.Where)
-
-	var region grid.Region
-	var preds []engine.ColumnPred
-	var generic []Expr
-	for _, c := range conjs {
-		if region == nil {
-			if r, ok := pcRegionFromConjunct(b, c); ok {
-				region = r
-				continue
-			}
-		}
-		if p, ok := pcPredFromConjunct(b, c); ok {
-			preds = append(preds, p)
-			continue
-		}
-		generic = append(generic, c)
-	}
-
-	var rows []int
-	if region != nil {
-		sel := b.pc.SelectRegion(region)
-		ex.Steps = append(ex.Steps, sel.Explain.Steps...)
-		rows = sel.Rows
-	}
-	return e.finishPointCloud(stmt, b, rows, preds, generic, ex)
-}
-
-// finishPointCloud runs the shared tail of point-cloud and join execution:
-// thematic predicate kernels, generic filters (compiled where possible),
-// projection, and the pooled-vector bookkeeping. rows may be nil ("all
-// rows"); when non-nil it is treated as engine-owned and recycled on every
-// exit path — including errors, which previously leaked it from the pool's
-// accounting.
-func (e *Executor) finishPointCloud(stmt *SelectStmt, b *binding, rows []int, preds []engine.ColumnPred, generic []Expr, ex *engine.Explain) (*Result, error) {
-	filtered, err := b.pc.FilterRows(rows, preds, ex)
-	if err != nil {
-		if rows != nil {
-			engine.RecycleRows(rows)
-		}
-		return nil, err
-	}
-	// FilterRows copies on first write, so the incoming pooled vector can
-	// go back to the pool as soon as a predicate replaced it.
-	if rows != nil && len(preds) > 0 {
-		engine.RecycleRows(rows)
-	}
-	rows = filtered
-	// Generic filters compact rows in place (the backing array never moves
-	// or grows), so on error the pre-call slice is still the one to recycle.
-	narrowed, err := e.genericFilterPC(b, rows, generic, ex)
-	if err != nil {
-		engine.RecycleRows(rows)
-		return nil, err
-	}
-	rows = narrowed
-	res, err := e.output(stmt, b, rows, -1, ex)
-	engine.RecycleRows(rows)
-	return res, err
-}
-
-// genericFilterPC applies conjuncts the planner didn't recognise. Shapes
-// the expression compiler covers (arithmetic comparisons, BETWEEN, NOT,
-// error-free AND/OR, bare numeric truthiness) run as chunked vector
-// kernels; everything else falls back to the row-at-a-time interpreter.
-// Both paths compact rows in place without moving its backing array.
-func (e *Executor) genericFilterPC(b *binding, rows []int, generic []Expr, ex *engine.Explain) ([]int, error) {
-	for _, g := range generic {
-		start := time.Now()
-		in := len(rows)
-		if cf, ok := compilePCFilter(b, g); ok {
-			narrowed, err := cf.apply(rows)
-			if err != nil {
-				return nil, err
-			}
-			rows = narrowed
-			ex.Add("filter.compiled", g.exprString(), in, len(rows), time.Since(start))
-			continue
-		}
-		out := rows[:0]
-		ctx := &evalCtx{b: b, vtRow: -1}
-		for _, r := range rows {
-			ctx.pcRow = r
-			v, err := evalExpr(ctx, g)
-			if err != nil {
-				return nil, err
-			}
-			if v.truthy() {
-				out = append(out, r)
-			}
-		}
-		rows = out
-		ex.Add("filter.generic", g.exprString(), in, len(rows), time.Since(start))
-	}
-	return rows, nil
-}
-
-// --- vector execution ---------------------------------------------------------
-
-func (e *Executor) execVector(stmt *SelectStmt, b *binding) (*Result, error) {
-	ex := &engine.Explain{}
-	conjs := splitConjuncts(stmt.Where)
-	rows, err := e.filterVTRows(b, conjs, allRows(b.vt.Len()), ex)
-	if err != nil {
-		return nil, err
-	}
-	return e.output(stmt, b, nil, 0, ex, rows...)
-}
-
-// filterVTRows narrows a vector-table row set with the given conjuncts,
-// routing the recognised shapes through the table's indexes — `class = 'x'`
-// through the class dictionary, `ST_Intersects(geom, <const>)` through the
-// STR R-tree — and everything else through the row-wise interpreter. It is
-// shared by the pure-vector path and the vector phase of joins, so both see
-// the same fast paths.
-func (e *Executor) filterVTRows(b *binding, conjs []Expr, rows []int, ex *engine.Explain) ([]int, error) {
-	for _, c := range conjs {
-		// class = 'x' fast path.
-		if cls, ok := vtClassEquality(b, c); ok {
-			fast := b.vt.SelectClass(cls, ex)
-			rows = intersectSorted(rows, fast)
-			continue
-		}
-		// ST_Intersects(geom, const) fast path.
-		if g, ok := vtIntersectsConst(b, c); ok {
-			fast := b.vt.SelectIntersects(g, ex)
-			rows = intersectSorted(rows, fast)
-			continue
-		}
-		// Generic row-wise filter.
-		start := time.Now()
-		in := len(rows)
-		out := rows[:0]
-		ctx := &evalCtx{b: b, pcRow: -1}
-		for _, r := range rows {
-			ctx.vtRow = r
-			v, err := evalExpr(ctx, c)
-			if err != nil {
-				return nil, err
-			}
-			if v.truthy() {
-				out = append(out, r)
-			}
-		}
-		rows = out
-		ex.Add("filter.generic", c.exprString(), in, len(rows), time.Since(start))
-	}
-	return rows, nil
-}
-
-func vtClassEquality(b *binding, e Expr) (string, bool) {
-	t, ok := e.(BinaryExpr)
-	if !ok || t.Op != "=" {
-		return "", false
-	}
-	if c, ok := t.L.(ColumnRef); ok && strings.EqualFold(c.Name, vcClass) && b.isVTName(c.Table) {
-		if s, ok := t.R.(StringLit); ok {
-			return s.Value, true
-		}
-	}
-	if c, ok := t.R.(ColumnRef); ok && strings.EqualFold(c.Name, vcClass) && b.isVTName(c.Table) {
-		if s, ok := t.L.(StringLit); ok {
-			return s.Value, true
-		}
-	}
-	return "", false
-}
-
-func vtIntersectsConst(b *binding, e Expr) (geom.Geometry, bool) {
-	f, ok := e.(FuncCall)
-	if !ok || f.Name != "st_intersects" || len(f.Args) != 2 {
-		return nil, false
-	}
-	for i := 0; i < 2; i++ {
-		if isVTGeom(b, f.Args[i]) {
-			if g, ok := constGeom(b, f.Args[1-i]); ok {
-				return g, true
-			}
-		}
-	}
-	return nil, false
-}
-
-// --- join execution -----------------------------------------------------------
-
-func (e *Executor) execJoin(stmt *SelectStmt, b *binding) (*Result, error) {
-	ex := &engine.Explain{}
-	conjs := splitConjuncts(stmt.Where)
-
-	var vtConjs, pcConjs []Expr
-	var joinConj Expr
-	for _, c := range conjs {
-		u := usage(b, c)
-		switch {
-		case u.pc && u.vt:
-			if joinConj != nil {
-				return nil, fmt.Errorf("sql: at most one spatial join predicate supported")
-			}
-			joinConj = c
-		case u.vt:
-			vtConjs = append(vtConjs, c)
-		default:
-			pcConjs = append(pcConjs, c)
-		}
-	}
-	if joinConj == nil {
-		return nil, fmt.Errorf("sql: joins require a spatial predicate linking the tables (e.g. ST_DWithin)")
-	}
-
-	// Phase 1: vector side, through the same helper as pure vector queries
-	// so spatial conjuncts (ST_Intersects with a constant geometry) hit the
-	// R-tree here too instead of falling to the row-wise interpreter.
-	vtRows, err := e.filterVTRows(b, vtConjs, allRows(b.vt.Len()), ex)
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase 2: spatial join.
-	sel, err := e.spatialJoin(b, joinConj, vtRows)
-	if err != nil {
-		return nil, err
-	}
-	ex.Steps = append(ex.Steps, sel.Explain.Steps...)
-	rows := sel.Rows
-
-	// Phase 3: point-side predicates.
-	var preds []engine.ColumnPred
-	var generic []Expr
-	for _, c := range pcConjs {
-		if p, ok := pcPredFromConjunct(b, c); ok {
-			preds = append(preds, p)
-			continue
-		}
-		generic = append(generic, c)
-	}
-	return e.finishPointCloud(stmt, b, rows, preds, generic, ex)
-}
-
-// spatialJoin recognises the join predicate shape and runs it.
-func (e *Executor) spatialJoin(b *binding, conj Expr, vtRows []int) (engine.Selection, error) {
-	f, ok := conj.(FuncCall)
-	if !ok {
-		return engine.Selection{}, fmt.Errorf("sql: unsupported join predicate %q", conj.exprString())
-	}
-	switch f.Name {
-	case "st_dwithin":
-		if len(f.Args) == 3 {
-			d, dok := constNum(b, f.Args[2])
-			if dok {
-				for i := 0; i < 2; i++ {
-					if isVTGeom(b, f.Args[i]) && isPCPoint(b, f.Args[1-i]) {
-						return e.db.PointsNearFeatures(b.pc, b.vt, vtRows, d), nil
-					}
-				}
-			}
-		}
-	case "st_contains", "st_covers", "st_intersects":
-		if len(f.Args) == 2 {
-			for i := 0; i < 2; i++ {
-				if isVTGeom(b, f.Args[i]) && isPCPoint(b, f.Args[1-i]) {
-					if f.Name != "st_intersects" && i != 0 {
-						break // containment is asymmetric
-					}
-					return e.db.PointsInFeatures(b.pc, b.vt, vtRows), nil
-				}
-			}
-		}
-	case "st_within":
-		if len(f.Args) == 2 && isPCPoint(b, f.Args[0]) && isVTGeom(b, f.Args[1]) {
-			return e.db.PointsInFeatures(b.pc, b.vt, vtRows), nil
-		}
-	}
-	return engine.Selection{}, fmt.Errorf("sql: unsupported join predicate %q", conj.exprString())
-}
-
-// --- output phase ---------------------------------------------------------------
-
-// output materialises the SELECT list. For point-cloud and join queries,
-// rows index the point cloud and vtRow is -1; for vector queries the rows
-// come through vtRows (variadic to keep one signature).
-func (e *Executor) output(stmt *SelectStmt, b *binding, rows []int, mode int, ex *engine.Explain, vtRows ...int) (*Result, error) {
-	isVector := mode == 0
-	if !isVector && rows == nil {
-		rows = allRows(b.pc.Len())
-	}
-	if isVector {
-		rows = vtRows
-	}
-
-	// Grouped, aggregate or plain projection?
-	if len(stmt.GroupBy) > 0 {
-		return e.outputGrouped(stmt, b, rows, isVector, ex)
-	}
-	aggCount := 0
-	for _, item := range stmt.Items {
-		if _, ok := isAggregate(item.Expr); ok {
-			aggCount++
-		}
-	}
-	if aggCount > 0 {
-		if aggCount != len(stmt.Items) {
-			return nil, fmt.Errorf("sql: cannot mix aggregates and plain columns without GROUP BY")
-		}
-		return e.outputAggregates(stmt, b, rows, isVector, ex)
-	}
-
-	// ORDER BY.
-	if stmt.Order != nil {
-		keys := make([]Value, len(rows))
-		ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
-		for i, r := range rows {
-			setRow(ctx, isVector, r)
-			v, err := evalExpr(ctx, stmt.Order.Expr)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		idx := make([]int, len(rows))
-		for i := range idx {
-			idx[i] = i
-		}
-		desc := stmt.Order.Desc
-		sort.SliceStable(idx, func(a, c int) bool {
-			less := valueLess(keys[idx[a]], keys[idx[c]])
-			if desc {
-				return valueLess(keys[idx[c]], keys[idx[a]])
-			}
-			return less
-		})
-		sorted := make([]int, len(rows))
-		for i, j := range idx {
-			sorted[i] = rows[j]
-		}
-		rows = sorted
-	}
-	if stmt.Limit >= 0 && len(rows) > stmt.Limit {
-		rows = rows[:stmt.Limit]
-	}
-
-	cols, exprs, err := e.expandItems(stmt.Items, b, isVector)
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	res := &Result{Columns: cols, Explain: ex}
-	ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
-	for _, r := range rows {
-		setRow(ctx, isVector, r)
-		out := make([]Value, len(exprs))
-		for i, ee := range exprs {
-			v, err := evalExpr(ctx, ee)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	ex.Add("project", strings.Join(cols, ","), len(rows), len(res.Rows), time.Since(start))
-	return res, nil
-}
-
-func setRow(ctx *evalCtx, isVector bool, r int) {
-	if isVector {
-		ctx.vtRow = r
-		ctx.pcRow = -1
+// lookup returns the cached statement for src, counting hit/miss.
+func (c *stmtCache) lookup(src string) *PreparedQuery {
+	c.mu.Lock()
+	pq := c.stmts[src]
+	c.mu.Unlock()
+	if pq != nil {
+		c.hits.Add(1)
 	} else {
-		ctx.pcRow = r
-		ctx.vtRow = -1
+		c.misses.Add(1)
 	}
+	return pq
 }
 
-func valueLess(a, b Value) bool {
-	if a.Kind == KindNum && b.Kind == KindNum {
-		return a.Num < b.Num
+// insert stores pq under src, resetting the cache when it outgrew its
+// bound. Parse and plan errors are never cached.
+func (c *stmtCache) insert(src string, pq *PreparedQuery) {
+	c.mu.Lock()
+	if c.stmts == nil || len(c.stmts) >= maxCachedStmts {
+		c.stmts = make(map[string]*PreparedQuery, 16)
 	}
-	if a.Kind == KindStr && b.Kind == KindStr {
-		return a.Str < b.Str
-	}
-	return false
+	c.stmts[src] = pq
+	c.mu.Unlock()
 }
 
-// expandItems resolves * and aliases into output columns and expressions.
-func (e *Executor) expandItems(items []SelectItem, b *binding, isVector bool) ([]string, []Expr, error) {
-	var cols []string
-	var exprs []Expr
-	for _, item := range items {
-		if _, ok := item.Expr.(Star); ok {
-			if isVector {
-				for _, name := range []string{vcID, vcClass, vcName, vcGeom} {
-					cols = append(cols, name)
-					exprs = append(exprs, ColumnRef{Name: name})
-				}
-				attrs := b.vt.NumericAttrs()
-				sort.Strings(attrs)
-				for _, a := range attrs {
-					cols = append(cols, a)
-					exprs = append(exprs, ColumnRef{Name: a})
-				}
-			} else {
-				for _, f := range b.pc.Schema().Fields {
-					cols = append(cols, f.Name)
-					exprs = append(exprs, ColumnRef{Name: f.Name})
-				}
-			}
-			continue
-		}
-		name := item.Alias
-		if name == "" {
-			name = item.Expr.exprString()
-		}
-		cols = append(cols, name)
-		exprs = append(exprs, item.Expr)
-	}
-	return cols, exprs, nil
+// StmtCacheStats reports the statement cache's effectiveness counters.
+// Invalidations counts epoch-forced replans of this executor's prepared
+// statements (cached or standalone): each one is an append observed by the
+// SQL layer, the signal the invalidation tests assert on.
+type StmtCacheStats struct {
+	Entries       int
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
 }
 
-// outputAggregates computes one result row of aggregates.
-func (e *Executor) outputAggregates(stmt *SelectStmt, b *binding, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
-	start := time.Now()
-	res := &Result{Explain: ex}
-	out := make([]Value, len(stmt.Items))
-	for i, item := range stmt.Items {
-		f, _ := isAggregate(item.Expr)
-		name := item.Alias
-		if name == "" {
-			name = item.Expr.exprString()
-		}
-		res.Columns = append(res.Columns, name)
-		v, err := e.computeAggregate(b, f, rows, isVector)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+// StmtCacheStats snapshots the executor's statement cache.
+func (e *Executor) StmtCacheStats() StmtCacheStats {
+	c := &e.stmts
+	c.mu.Lock()
+	entries := len(c.stmts)
+	c.mu.Unlock()
+	return StmtCacheStats{
+		Entries:       entries,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
 	}
-	res.Rows = append(res.Rows, out)
-	ex.Add("aggregate", "select list", len(rows), 1, time.Since(start))
-	return res, nil
-}
-
-func (e *Executor) computeAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, error) {
-	if f.Name == "count" {
-		if len(f.Args) == 0 {
-			return Value{}, fmt.Errorf("sql: count requires an argument (use count(*))")
-		}
-		if _, ok := f.Args[0].(Star); ok {
-			return numVal(float64(len(rows))), nil
-		}
-	}
-	if len(f.Args) != 1 {
-		return Value{}, fmt.Errorf("sql: %s expects one argument", f.Name)
-	}
-	if v, ok, err := e.kernelAggregate(b, f, rows, isVector); ok {
-		return v, err
-	}
-	ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
-	// Accumulation matches the engine's aggregate kernels exactly (±Inf
-	// seeds, strict compares), so the same aggregate gives the same answer
-	// whether it routes through kernelAggregate or this fallback: sum/avg
-	// propagate NaN, min/max skip NaN values (they fail every ordered
-	// comparison), and an all-NaN selection reports the ±Inf identities.
-	var sum float64
-	lo, hi := math.Inf(1), math.Inf(-1)
-	n := 0
-	for _, r := range rows {
-		setRow(ctx, isVector, r)
-		v, err := evalExpr(ctx, f.Args[0])
-		if err != nil {
-			return Value{}, err
-		}
-		if v.Kind != KindNum {
-			return Value{}, fmt.Errorf("sql: %s needs numeric input", f.Name)
-		}
-		if v.Num < lo {
-			lo = v.Num
-		}
-		if v.Num > hi {
-			hi = v.Num
-		}
-		sum += v.Num
-		n++
-	}
-	switch f.Name {
-	case "count":
-		return numVal(float64(n)), nil
-	case "sum":
-		return numVal(sum), nil
-	case "avg":
-		if n == 0 {
-			return Value{Kind: KindNull}, nil
-		}
-		return numVal(sum / float64(n)), nil
-	case "min":
-		if n == 0 {
-			return Value{Kind: KindNull}, nil
-		}
-		return numVal(lo), nil
-	case "max":
-		if n == 0 {
-			return Value{Kind: KindNull}, nil
-		}
-		return numVal(hi), nil
-	default:
-		return Value{}, fmt.Errorf("sql: unknown aggregate %q", f.Name)
-	}
-}
-
-// kernelAggregate routes aggregates over a bare point-cloud column through
-// the engine's typed aggregate kernels instead of per-row expression
-// evaluation. ok reports whether the shape was recognised; when false, the
-// caller falls back to the generic path. Results are identical: column
-// references evaluate to the same float64 widening the kernels use, and
-// accumulation order is unchanged (ascending rows).
-func (e *Executor) kernelAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, bool, error) {
-	if isVector || b.pc == nil {
-		return Value{}, false, nil
-	}
-	col, ok := pcColumnName(b, f.Args[0])
-	if !ok {
-		return Value{}, false, nil
-	}
-	var fn engine.AggFunc
-	switch f.Name {
-	case "count":
-		// count(col) over non-null numeric columns is the row count.
-		return numVal(float64(len(rows))), true, nil
-	case "sum":
-		fn = engine.AggSum
-	case "avg":
-		fn = engine.AggAvg
-	case "min":
-		fn = engine.AggMin
-	case "max":
-		fn = engine.AggMax
-	default:
-		return Value{}, false, nil
-	}
-	if len(rows) == 0 {
-		// SQL semantics over empty input: sum() is 0, the rest are NULL.
-		if fn == engine.AggSum {
-			return numVal(0), true, nil
-		}
-		return Value{Kind: KindNull}, true, nil
-	}
-	v, err := b.pc.Aggregate(rows, fn, col, nil)
-	if err != nil {
-		return Value{}, true, err
-	}
-	return numVal(v), true, nil
-}
-
-// --- helpers --------------------------------------------------------------------
-
-func allRows(n int) []int {
-	rows := make([]int, n)
-	for i := range rows {
-		rows[i] = i
-	}
-	return rows
-}
-
-// intersectSorted intersects two ascending row-id lists.
-func intersectSorted(a, b []int) []int {
-	var out []int
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
 }

@@ -76,7 +76,7 @@ type group struct {
 }
 
 // outputGrouped materialises a GROUP BY query over the selected rows.
-func (e *Executor) outputGrouped(stmt *SelectStmt, b *binding, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
+func outputGrouped(stmt *SelectStmt, b *binding, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
 	start := time.Now()
 	// Resolve select-item aliases used as GROUP BY keys to their
 	// underlying expressions (e.g. GROUP BY cls for "classification AS cls").

@@ -1,0 +1,664 @@
+// Query planning: the prepare half of the prepare/execute split. Prepare
+// parses a statement once, binds its table references against the catalog,
+// classifies every WHERE conjunct into the engine shapes the executor can
+// accelerate — one spatial region for the imprint+grid path, thematic
+// column predicates for the kernel layer, compiled vector kernels for
+// generic arithmetic conjuncts, interpreter expressions for the rest — and
+// fixes the physical strategy (point-cloud scan / vector-table scan /
+// spatial join). The product is an immutable queryPlan that
+// PreparedQuery.Run executes with none of that per-call work; the paper's
+// navigation workload re-issues near-identical statements on every pan and
+// zoom, so everything above the scan layer is hoisted here.
+//
+// Invalidation contract (the SQL-layer extension of the engine plan cache
+// contract in ROADMAP.md): compiled generic kernels close over column
+// backing arrays, and star expansion and conjunct classification read the
+// table schema, so a plan is valid only for the table epochs it was built
+// against. buildPlan captures each bound table's epoch BEFORE reading any
+// table state; Run revalidates the captured epochs and replans on
+// mismatch. Appends bump the epoch (PointCloud.InvalidateIndexes,
+// VectorTable.Append), so a cached statement can never serve a plan bound
+// to moved arrays. Re-registering a different table under the same catalog
+// name is NOT covered — plans bind table pointers, not names.
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gisnav/internal/engine"
+	"gisnav/internal/geom"
+	"gisnav/internal/grid"
+)
+
+// planMode is the physical strategy fixed at prepare time.
+type planMode uint8
+
+const (
+	planPointCloud planMode = iota
+	planVector
+	planJoin
+)
+
+// outMode classifies the SELECT list.
+type outMode uint8
+
+const (
+	outProject outMode = iota
+	outAggregate
+	outGrouped
+)
+
+// genericStep is one WHERE conjunct the planner could not hand to the
+// engine's predicate kernels, in original conjunct order (order matters
+// for error semantics: an earlier conjunct may narrow away the rows on
+// which a later one would fail). cf is the compiled vector kernel when the
+// expression compiler covered the shape; nil means the row-at-a-time
+// interpreter evaluates expr.
+type genericStep struct {
+	cf   *compiledFilter
+	expr Expr
+}
+
+// vtStepKind tags one vector-table filter step.
+type vtStepKind uint8
+
+const (
+	vtStepClass      vtStepKind = iota // class = 'x' through the dictionary
+	vtStepIntersects                   // ST_Intersects(geom, const) through the R-tree
+	vtStepGeneric                      // row-wise interpreter
+)
+
+// vtStep is one planned vector-table conjunct.
+type vtStep struct {
+	kind  vtStepKind
+	class string
+	g     geom.Geometry
+	expr  Expr
+}
+
+// joinKind is the recognised spatial-join operator.
+type joinKind uint8
+
+const (
+	joinNone    joinKind = iota
+	joinDWithin          // ST_DWithin(vt.geom, pc point, d) → PointsNearFeatures
+	joinWithin           // containment variants → PointsInFeatures
+)
+
+// queryPlan is the immutable product of one planning pass. Everything in
+// it is either a constant (region geometries, predicate bounds, output
+// columns) or bound to table state no older than the captured epochs.
+type queryPlan struct {
+	b    *binding
+	mode planMode
+
+	// Epochs of the bound tables when planning started; see the package
+	// comment for the revalidation contract.
+	pcEpoch uint64
+	vtEpoch uint64
+
+	// Point-cloud phase (planPointCloud and the join tail).
+	region  grid.Region
+	preds   []engine.ColumnPred
+	generic []genericStep
+
+	// Vector phase (planVector and the join head).
+	vtSteps []vtStep
+
+	// Join operator.
+	join     joinKind
+	joinDist float64
+
+	// Output phase.
+	out   outMode
+	cols  []string
+	exprs []Expr
+}
+
+// PreparedQuery is a statement prepared for repeated execution: parse,
+// binding, conjunct classification, kernel compilation and strategy choice
+// all happened once, at Prepare time. Run executes the captured plan,
+// replanning transparently when a bound table's epoch moved.
+//
+// A PreparedQuery is safe for concurrent use: one run at a time executes
+// the cached plan (the compiled kernels carry per-statement chunk
+// scratch), and overlapping runs fall back to a transient plan of their
+// own, so concurrent identical statements scale instead of serialising.
+type PreparedQuery struct {
+	ex   *Executor
+	stmt *SelectStmt
+
+	mu   sync.Mutex
+	plan *queryPlan
+}
+
+// Prepare parses and plans src for repeated execution.
+func (e *Executor) Prepare(src string) (*PreparedQuery, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.PrepareStmt(stmt)
+}
+
+// PrepareStmt plans an already-parsed statement. The statement must not be
+// mutated afterwards; the prepared query keeps it for epoch replans.
+func (e *Executor) PrepareStmt(stmt *SelectStmt) (*PreparedQuery, error) {
+	plan, err := e.buildPlan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{ex: e, stmt: stmt, plan: plan}, nil
+}
+
+// buildPlan runs one full planning pass over stmt.
+func (e *Executor) buildPlan(stmt *SelectStmt) (*queryPlan, error) {
+	b, err := e.bind(stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	p := &queryPlan{b: b}
+	// Capture epochs before reading any table state: if an append slips in
+	// between the epoch read and kernel compilation, the recorded epoch is
+	// already stale and the next Run replans — the safe direction.
+	if b.pc != nil {
+		p.pcEpoch = b.pc.Epoch()
+	}
+	if b.vt != nil {
+		p.vtEpoch = b.vt.Epoch()
+	}
+	switch {
+	case b.pc != nil && b.vt != nil:
+		p.mode = planJoin
+		if err := p.planJoinWhere(stmt.Where); err != nil {
+			return nil, err
+		}
+	case b.pc != nil:
+		p.mode = planPointCloud
+		for _, c := range splitConjuncts(stmt.Where) {
+			p.addPCConjunct(c, true)
+		}
+	case b.vt != nil:
+		p.mode = planVector
+		for _, c := range splitConjuncts(stmt.Where) {
+			p.addVTConjunct(c)
+		}
+	default:
+		return nil, fmt.Errorf("sql: no tables bound")
+	}
+	if err := p.planOutput(stmt); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// stale reports whether a bound table's epoch moved since planning.
+func (p *queryPlan) stale() bool {
+	if p.b.pc != nil && p.b.pc.Epoch() != p.pcEpoch {
+		return true
+	}
+	if p.b.vt != nil && p.b.vt.Epoch() != p.vtEpoch {
+		return true
+	}
+	return false
+}
+
+// addPCConjunct classifies one point-cloud conjunct. allowRegion gates the
+// single accelerable spatial region: plain point-cloud queries route their
+// first recognised spatial conjunct through the imprint+grid path, while
+// joins reach the point cloud through the join operator instead.
+func (p *queryPlan) addPCConjunct(c Expr, allowRegion bool) {
+	if allowRegion && p.region == nil {
+		if r, ok := pcRegionFromConjunct(p.b, c); ok {
+			p.region = r
+			return
+		}
+	}
+	if pred, ok := pcPredFromConjunct(p.b, c); ok {
+		p.preds = append(p.preds, pred)
+		return
+	}
+	if cf, ok := compilePCFilter(p.b, c); ok {
+		p.generic = append(p.generic, genericStep{cf: cf, expr: c})
+		return
+	}
+	p.generic = append(p.generic, genericStep{expr: c})
+}
+
+// addVTConjunct classifies one vector-table conjunct into its fast path.
+func (p *queryPlan) addVTConjunct(c Expr) {
+	if cls, ok := vtClassEquality(p.b, c); ok {
+		p.vtSteps = append(p.vtSteps, vtStep{kind: vtStepClass, class: cls, expr: c})
+		return
+	}
+	if g, ok := vtIntersectsConst(p.b, c); ok {
+		p.vtSteps = append(p.vtSteps, vtStep{kind: vtStepIntersects, g: g, expr: c})
+		return
+	}
+	p.vtSteps = append(p.vtSteps, vtStep{kind: vtStepGeneric, expr: c})
+}
+
+// planJoinWhere splits join conjuncts by table usage and recognises the
+// single cross-table spatial predicate.
+func (p *queryPlan) planJoinWhere(where Expr) error {
+	var joinConj Expr
+	for _, c := range splitConjuncts(where) {
+		u := usage(p.b, c)
+		switch {
+		case u.pc && u.vt:
+			if joinConj != nil {
+				return fmt.Errorf("sql: at most one spatial join predicate supported")
+			}
+			joinConj = c
+		case u.vt:
+			p.addVTConjunct(c)
+		default:
+			p.addPCConjunct(c, false)
+		}
+	}
+	if joinConj == nil {
+		return fmt.Errorf("sql: joins require a spatial predicate linking the tables (e.g. ST_DWithin)")
+	}
+	return p.planJoinPredicate(joinConj)
+}
+
+// planJoinPredicate recognises the join predicate shape once, at prepare
+// time, so Run only dispatches on the resolved kind.
+func (p *queryPlan) planJoinPredicate(conj Expr) error {
+	b := p.b
+	f, ok := conj.(FuncCall)
+	if !ok {
+		return fmt.Errorf("sql: unsupported join predicate %q", conj.exprString())
+	}
+	switch f.Name {
+	case "st_dwithin":
+		if len(f.Args) == 3 {
+			d, dok := constNum(b, f.Args[2])
+			if dok {
+				for i := 0; i < 2; i++ {
+					if isVTGeom(b, f.Args[i]) && isPCPoint(b, f.Args[1-i]) {
+						p.join, p.joinDist = joinDWithin, d
+						return nil
+					}
+				}
+			}
+		}
+	case "st_contains", "st_covers", "st_intersects":
+		if len(f.Args) == 2 {
+			for i := 0; i < 2; i++ {
+				if isVTGeom(b, f.Args[i]) && isPCPoint(b, f.Args[1-i]) {
+					if f.Name != "st_intersects" && i != 0 {
+						break // containment is asymmetric
+					}
+					p.join = joinWithin
+					return nil
+				}
+			}
+		}
+	case "st_within":
+		if len(f.Args) == 2 && isPCPoint(b, f.Args[0]) && isVTGeom(b, f.Args[1]) {
+			p.join = joinWithin
+			return nil
+		}
+	}
+	return fmt.Errorf("sql: unsupported join predicate %q", conj.exprString())
+}
+
+// planOutput classifies the SELECT list and hoists the output columns.
+func (p *queryPlan) planOutput(stmt *SelectStmt) error {
+	if len(stmt.GroupBy) > 0 {
+		p.out = outGrouped
+		return nil
+	}
+	aggCount := 0
+	for _, item := range stmt.Items {
+		if _, ok := isAggregate(item.Expr); ok {
+			aggCount++
+		}
+	}
+	if aggCount > 0 {
+		if aggCount != len(stmt.Items) {
+			return fmt.Errorf("sql: cannot mix aggregates and plain columns without GROUP BY")
+		}
+		p.out = outAggregate
+		for _, item := range stmt.Items {
+			name := item.Alias
+			if name == "" {
+				name = item.Expr.exprString()
+			}
+			p.cols = append(p.cols, name)
+		}
+		return nil
+	}
+	p.out = outProject
+	p.cols, p.exprs = expandItems(stmt.Items, p.b, p.mode == planVector)
+	return nil
+}
+
+// --- binding ---------------------------------------------------------------
+
+// bind resolves FROM references against the catalog.
+func (e *Executor) bind(from []TableRef) (*binding, error) {
+	if len(from) == 0 {
+		return nil, fmt.Errorf("sql: FROM clause required")
+	}
+	if len(from) > 2 {
+		return nil, fmt.Errorf("sql: at most two tables supported (point cloud × vector join)")
+	}
+	b := &binding{}
+	for _, ref := range from {
+		names := []string{ref.Name}
+		if ref.Alias != "" {
+			names = append(names, ref.Alias)
+		}
+		if e.db.IsPointCloud(ref.Name) {
+			if b.pc != nil {
+				return nil, fmt.Errorf("sql: only one point cloud table per query")
+			}
+			pc, err := e.db.PointCloud(ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			b.pc = pc
+			b.pcNames = names
+			continue
+		}
+		vt, err := e.db.Vector(ref.Name)
+		if err != nil {
+			return nil, fmt.Errorf("sql: unknown table %q", ref.Name)
+		}
+		if b.vt != nil {
+			return nil, fmt.Errorf("sql: only one vector table per query")
+		}
+		b.vt = vt
+		b.vtNames = names
+	}
+	return b, nil
+}
+
+// --- conjunct classification ------------------------------------------------
+
+// refUse records which tables an expression touches.
+type refUse struct {
+	pc, vt bool
+}
+
+// usage walks e and classifies its column references under b.
+func usage(b *binding, e Expr) refUse {
+	var u refUse
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case ColumnRef:
+			name := strings.ToLower(t.Name)
+			if t.Table != "" {
+				if b.isPCName(t.Table) && !b.isVTName(t.Table) {
+					u.pc = true
+					return
+				}
+				if b.isVTName(t.Table) && !b.isPCName(t.Table) {
+					u.vt = true
+					return
+				}
+			}
+			// Unqualified: resolve by column name.
+			if b.pc != nil && b.pc.Column(name) != nil {
+				u.pc = true
+				return
+			}
+			if b.vt != nil {
+				if name == vcID || name == vcClass || name == vcName || name == vcGeom {
+					u.vt = true
+					return
+				}
+				for _, attr := range b.vt.NumericAttrs() {
+					if strings.EqualFold(attr, name) {
+						u.vt = true
+						return
+					}
+				}
+			}
+		case FuncCall:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case BinaryExpr:
+			walk(t.L)
+			walk(t.R)
+		case NotExpr:
+			walk(t.E)
+		case BetweenExpr:
+			walk(t.Subject)
+			walk(t.Lo)
+			walk(t.Hi)
+		}
+	}
+	walk(e)
+	return u
+}
+
+// constGeom evaluates e without row context, expecting a geometry.
+func constGeom(b *binding, e Expr) (geom.Geometry, bool) {
+	v, err := evalExpr(&evalCtx{b: b, pcRow: -1, vtRow: -1}, e)
+	if err != nil || v.Kind != KindGeom {
+		return nil, false
+	}
+	return v.Geom, true
+}
+
+// constNum evaluates e without row context, expecting a number.
+func constNum(b *binding, e Expr) (float64, bool) {
+	v, err := evalExpr(&evalCtx{b: b, pcRow: -1, vtRow: -1}, e)
+	if err != nil || v.Kind != KindNum {
+		return 0, false
+	}
+	return v.Num, true
+}
+
+// isPCPoint recognises ST_Point(x, y) over the point cloud's coordinate
+// columns — the shape the imprint filter accelerates.
+func isPCPoint(b *binding, e Expr) bool {
+	f, ok := e.(FuncCall)
+	if !ok || f.Name != "st_point" || len(f.Args) != 2 {
+		return false
+	}
+	cx, okx := f.Args[0].(ColumnRef)
+	cy, oky := f.Args[1].(ColumnRef)
+	if !okx || !oky {
+		return false
+	}
+	return b.isPCName(cx.Table) && b.isPCName(cy.Table) &&
+		strings.EqualFold(cx.Name, engine.ColX) && strings.EqualFold(cy.Name, engine.ColY)
+}
+
+// isVTGeom recognises a reference to the vector table's geometry column.
+func isVTGeom(b *binding, e Expr) bool {
+	c, ok := e.(ColumnRef)
+	return ok && strings.EqualFold(c.Name, vcGeom) && b.isVTName(c.Table)
+}
+
+// pcRegionFromConjunct extracts an accelerable spatial region predicate over
+// the point cloud, if e has one of the recognised shapes.
+func pcRegionFromConjunct(b *binding, e Expr) (grid.Region, bool) {
+	f, ok := e.(FuncCall)
+	if !ok {
+		return nil, false
+	}
+	switch f.Name {
+	case "st_contains", "st_covers", "st_intersects":
+		if len(f.Args) != 2 {
+			return nil, false
+		}
+		for i := 0; i < 2; i++ {
+			g, gok := constGeom(b, f.Args[i])
+			if gok && isPCPoint(b, f.Args[1-i]) {
+				return grid.GeometryRegion{G: g}, true
+			}
+			// st_contains is asymmetric: the geometry must be first.
+			if f.Name != "st_intersects" {
+				break
+			}
+		}
+	case "st_within":
+		if len(f.Args) != 2 {
+			return nil, false
+		}
+		if g, gok := constGeom(b, f.Args[1]); gok && isPCPoint(b, f.Args[0]) {
+			return grid.GeometryRegion{G: g}, true
+		}
+	case "st_dwithin":
+		if len(f.Args) != 3 {
+			return nil, false
+		}
+		d, dok := constNum(b, f.Args[2])
+		if !dok {
+			return nil, false
+		}
+		for i := 0; i < 2; i++ {
+			g, gok := constGeom(b, f.Args[i])
+			if gok && isPCPoint(b, f.Args[1-i]) {
+				return grid.BufferRegion{G: g, D: d}, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// pcPredFromConjunct extracts a thematic column predicate.
+func pcPredFromConjunct(b *binding, e Expr) (engine.ColumnPred, bool) {
+	switch t := e.(type) {
+	case BinaryExpr:
+		ops := map[string]engine.CmpOp{
+			"=": engine.CmpEQ, "<>": engine.CmpNE, "<": engine.CmpLT,
+			"<=": engine.CmpLE, ">": engine.CmpGT, ">=": engine.CmpGE,
+		}
+		op, ok := ops[t.Op]
+		if !ok {
+			return engine.ColumnPred{}, false
+		}
+		if col, v, ok := colAndConst(b, t.L, t.R); ok {
+			return engine.ColumnPred{Column: col, Op: op, Value: v}, true
+		}
+		if col, v, ok := colAndConst(b, t.R, t.L); ok {
+			return engine.ColumnPred{Column: col, Op: flipOp(op), Value: v}, true
+		}
+	case BetweenExpr:
+		col, okc := pcColumnName(b, t.Subject)
+		lo, okl := constNum(b, t.Lo)
+		hi, okh := constNum(b, t.Hi)
+		if okc && okl && okh {
+			return engine.ColumnPred{Column: col, Op: engine.CmpBetween, Value: lo, Value2: hi}, true
+		}
+	}
+	return engine.ColumnPred{}, false
+}
+
+func colAndConst(b *binding, colSide, constSide Expr) (string, float64, bool) {
+	col, ok := pcColumnName(b, colSide)
+	if !ok {
+		return "", 0, false
+	}
+	v, ok := constNum(b, constSide)
+	if !ok {
+		return "", 0, false
+	}
+	return col, v, true
+}
+
+func pcColumnName(b *binding, e Expr) (string, bool) {
+	c, ok := e.(ColumnRef)
+	if !ok || !b.isPCName(c.Table) || b.pc == nil {
+		return "", false
+	}
+	name := strings.ToLower(c.Name)
+	if b.pc.Column(name) == nil {
+		return "", false
+	}
+	return name, true
+}
+
+func flipOp(op engine.CmpOp) engine.CmpOp {
+	switch op {
+	case engine.CmpLT:
+		return engine.CmpGT
+	case engine.CmpLE:
+		return engine.CmpGE
+	case engine.CmpGT:
+		return engine.CmpLT
+	case engine.CmpGE:
+		return engine.CmpLE
+	default:
+		return op
+	}
+}
+
+func vtClassEquality(b *binding, e Expr) (string, bool) {
+	t, ok := e.(BinaryExpr)
+	if !ok || t.Op != "=" {
+		return "", false
+	}
+	if c, ok := t.L.(ColumnRef); ok && strings.EqualFold(c.Name, vcClass) && b.isVTName(c.Table) {
+		if s, ok := t.R.(StringLit); ok {
+			return s.Value, true
+		}
+	}
+	if c, ok := t.R.(ColumnRef); ok && strings.EqualFold(c.Name, vcClass) && b.isVTName(c.Table) {
+		if s, ok := t.L.(StringLit); ok {
+			return s.Value, true
+		}
+	}
+	return "", false
+}
+
+func vtIntersectsConst(b *binding, e Expr) (geom.Geometry, bool) {
+	f, ok := e.(FuncCall)
+	if !ok || f.Name != "st_intersects" || len(f.Args) != 2 {
+		return nil, false
+	}
+	for i := 0; i < 2; i++ {
+		if isVTGeom(b, f.Args[i]) {
+			if g, ok := constGeom(b, f.Args[1-i]); ok {
+				return g, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// expandItems resolves * and aliases into output columns and expressions.
+func expandItems(items []SelectItem, b *binding, isVector bool) ([]string, []Expr) {
+	var cols []string
+	var exprs []Expr
+	for _, item := range items {
+		if _, ok := item.Expr.(Star); ok {
+			if isVector {
+				for _, name := range []string{vcID, vcClass, vcName, vcGeom} {
+					cols = append(cols, name)
+					exprs = append(exprs, ColumnRef{Name: name})
+				}
+				attrs := b.vt.NumericAttrs()
+				sort.Strings(attrs)
+				for _, a := range attrs {
+					cols = append(cols, a)
+					exprs = append(exprs, ColumnRef{Name: a})
+				}
+			} else {
+				for _, f := range b.pc.Schema().Fields {
+					cols = append(cols, f.Name)
+					exprs = append(exprs, ColumnRef{Name: f.Name})
+				}
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			name = item.Expr.exprString()
+		}
+		cols = append(cols, name)
+		exprs = append(exprs, item.Expr)
+	}
+	return cols, exprs
+}

@@ -1,0 +1,491 @@
+// Query execution: the execute half of the prepare/execute split. Run
+// walks the queryPlan's phases — spatial selection, kernel predicates,
+// compiled/interpreted generic filters, output — against the tables'
+// current state. Planning work (binding, classification, compilation)
+// never happens here except through the epoch-replan path, and every
+// engine-owned selection vector returns to its pool on every exit path.
+package sql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"gisnav/internal/engine"
+)
+
+// Run executes the prepared statement against the current table state,
+// without an operator trace: the steady-state path. Result.Explain is nil;
+// use RunTraced when the per-operator EXPLAIN view matters. If a bound
+// table's epoch moved since planning, Run replans first, so an append
+// between two runs is always observed by the second.
+func (pq *PreparedQuery) Run() (*Result, error) { return pq.run(nil) }
+
+// RunTraced is Run with the per-operator EXPLAIN trace Executor.Query
+// exposes. Tracing formats operator details per step and therefore
+// allocates; keep the plain Run on latency-critical paths.
+func (pq *PreparedQuery) RunTraced() (*Result, error) { return pq.run(&engine.Explain{}) }
+
+func (pq *PreparedQuery) run(ex *engine.Explain) (*Result, error) {
+	if !pq.mu.TryLock() {
+		// Another run of this statement is in flight. The plan's compiled
+		// kernels carry per-statement chunk scratch, so sharing it would
+		// mean serialising — instead concurrent callers pay one transient
+		// planning pass (a small fraction of a navigation query) and run
+		// fully parallel on their own plan.
+		plan, err := pq.ex.buildPlan(pq.stmt)
+		if err != nil {
+			return nil, err
+		}
+		tmp := &PreparedQuery{ex: pq.ex, stmt: pq.stmt, plan: plan}
+		return tmp.run(ex)
+	}
+	defer pq.mu.Unlock()
+	if pq.plan.stale() {
+		plan, err := pq.ex.buildPlan(pq.stmt)
+		if err != nil {
+			return nil, err
+		}
+		pq.plan = plan
+		pq.ex.stmts.invalidations.Add(1)
+	}
+	p := pq.plan
+	switch p.mode {
+	case planVector:
+		return pq.runVector(p, ex)
+	case planJoin:
+		return pq.runJoin(p, ex)
+	default:
+		return pq.runPointCloud(p, ex)
+	}
+}
+
+// --- point cloud execution ---------------------------------------------------
+
+func (pq *PreparedQuery) runPointCloud(p *queryPlan, ex *engine.Explain) (*Result, error) {
+	var rows []int
+	if p.region != nil {
+		if ex != nil {
+			sel := p.b.pc.SelectRegion(p.region)
+			ex.Steps = append(ex.Steps, sel.Explain.Steps...)
+			rows = sel.Rows
+		} else {
+			rows = p.b.pc.SelectRegionRows(p.region)
+		}
+	}
+	return pq.finishPointCloud(p, rows, ex)
+}
+
+// finishPointCloud runs the shared tail of point-cloud and join execution:
+// thematic predicate kernels, generic filters (compiled at prepare time
+// where possible), projection, and the pooled-vector bookkeeping. rows may
+// be nil ("all rows"); when non-nil it is treated as engine-owned and
+// recycled on every exit path — including errors.
+func (pq *PreparedQuery) finishPointCloud(p *queryPlan, rows []int, ex *engine.Explain) (*Result, error) {
+	filtered, err := p.b.pc.FilterRows(rows, p.preds, ex)
+	if err != nil {
+		if rows != nil {
+			engine.RecycleRows(rows)
+		}
+		return nil, err
+	}
+	// FilterRows copies on first write, so the incoming pooled vector can
+	// go back to the pool as soon as a predicate replaced it.
+	if rows != nil && len(p.preds) > 0 {
+		engine.RecycleRows(rows)
+	}
+	rows = filtered
+	// Generic filters compact rows in place (the backing array never moves
+	// or grows), so on error the pre-call slice is still the one to recycle.
+	narrowed, err := genericFilterPC(p, rows, ex)
+	if err != nil {
+		engine.RecycleRows(rows)
+		return nil, err
+	}
+	rows = narrowed
+	res, err := pq.output(p, rows, ex)
+	engine.RecycleRows(rows)
+	return res, err
+}
+
+// genericFilterPC applies the planned generic conjuncts in statement
+// order. Steps with a compiled kernel run chunk-at-a-time; the rest fall
+// back to the row-at-a-time interpreter. Both paths compact rows in place
+// without moving its backing array.
+func genericFilterPC(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error) {
+	for i := range p.generic {
+		g := &p.generic[i]
+		start := time.Now()
+		in := len(rows)
+		if g.cf != nil {
+			narrowed, err := g.cf.apply(rows)
+			if err != nil {
+				return nil, err
+			}
+			rows = narrowed
+			if ex != nil {
+				ex.Add("filter.compiled", g.expr.exprString(), in, len(rows), time.Since(start))
+			}
+			continue
+		}
+		out := rows[:0]
+		ctx := &evalCtx{b: p.b, vtRow: -1}
+		for _, r := range rows {
+			ctx.pcRow = r
+			v, err := evalExpr(ctx, g.expr)
+			if err != nil {
+				return nil, err
+			}
+			if v.truthy() {
+				out = append(out, r)
+			}
+		}
+		rows = out
+		if ex != nil {
+			ex.Add("filter.generic", g.expr.exprString(), in, len(rows), time.Since(start))
+		}
+	}
+	return rows, nil
+}
+
+// --- vector execution ---------------------------------------------------------
+
+func (pq *PreparedQuery) runVector(p *queryPlan, ex *engine.Explain) (*Result, error) {
+	rows := allRows(p.b.vt.Len())
+	rows, err := runVTSteps(p, rows, ex)
+	if err != nil {
+		engine.RecycleRows(rows)
+		return nil, err
+	}
+	res, err := pq.output(p, rows, ex)
+	engine.RecycleRows(rows)
+	return res, err
+}
+
+// runVTSteps narrows a pooled vector-table row set through the planned
+// steps: class equality through the dictionary, ST_Intersects with a
+// constant geometry through the STR R-tree, everything else through the
+// row-wise interpreter. All narrowing is in place over the incoming pooled
+// vector; the returned slice shares its backing array, so the caller
+// recycles exactly one buffer on every path (the error return carries the
+// live slice for that reason).
+func runVTSteps(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error) {
+	for i := range p.vtSteps {
+		st := &p.vtSteps[i]
+		switch st.kind {
+		case vtStepClass:
+			fast := p.b.vt.SelectClassInto(st.class, engine.AcquireRows(0), ex)
+			rows = intersectSorted(rows, fast)
+			engine.RecycleRows(fast)
+		case vtStepIntersects:
+			fast := p.b.vt.SelectIntersectsInto(st.g, engine.AcquireRows(0), ex)
+			rows = intersectSorted(rows, fast)
+			engine.RecycleRows(fast)
+		default:
+			start := time.Now()
+			in := len(rows)
+			out := rows[:0]
+			ctx := &evalCtx{b: p.b, pcRow: -1}
+			for _, r := range rows {
+				ctx.vtRow = r
+				v, err := evalExpr(ctx, st.expr)
+				if err != nil {
+					return rows, err
+				}
+				if v.truthy() {
+					out = append(out, r)
+				}
+			}
+			rows = out
+			if ex != nil {
+				ex.Add("filter.generic", st.expr.exprString(), in, len(rows), time.Since(start))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// --- join execution -----------------------------------------------------------
+
+func (pq *PreparedQuery) runJoin(p *queryPlan, ex *engine.Explain) (*Result, error) {
+	// Phase 1: vector side, through the same steps as pure vector queries
+	// so spatial conjuncts (ST_Intersects with a constant geometry) hit the
+	// R-tree here too instead of falling to the row-wise interpreter.
+	vtRows := allRows(p.b.vt.Len())
+	vtRows, err := runVTSteps(p, vtRows, ex)
+	if err != nil {
+		engine.RecycleRows(vtRows)
+		return nil, err
+	}
+
+	// Phase 2: the spatial join operator resolved at prepare time.
+	var sel engine.Selection
+	if p.join == joinDWithin {
+		sel = pq.ex.db.PointsNearFeatures(p.b.pc, p.b.vt, vtRows, p.joinDist)
+	} else {
+		sel = pq.ex.db.PointsInFeatures(p.b.pc, p.b.vt, vtRows)
+	}
+	engine.RecycleRows(vtRows)
+	if ex != nil {
+		ex.Steps = append(ex.Steps, sel.Explain.Steps...)
+	}
+
+	// Phase 3: point-side predicates.
+	return pq.finishPointCloud(p, sel.Rows, ex)
+}
+
+// --- output phase ---------------------------------------------------------------
+
+// output materialises the SELECT list over the selected rows. Result
+// columns are the plan's (shared across runs); rows index the point cloud
+// or the vector table according to the plan mode.
+func (pq *PreparedQuery) output(p *queryPlan, rows []int, ex *engine.Explain) (*Result, error) {
+	isVector := p.mode == planVector
+	stmt := pq.stmt
+	switch p.out {
+	case outGrouped:
+		return outputGrouped(stmt, p.b, rows, isVector, ex)
+	case outAggregate:
+		return outputAggregates(p, stmt, rows, isVector, ex)
+	}
+
+	// ORDER BY.
+	if stmt.Order != nil {
+		keys := make([]Value, len(rows))
+		ctx := &evalCtx{b: p.b, pcRow: -1, vtRow: -1}
+		for i, r := range rows {
+			setRow(ctx, isVector, r)
+			v, err := evalExpr(ctx, stmt.Order.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		desc := stmt.Order.Desc
+		sort.SliceStable(idx, func(a, c int) bool {
+			less := valueLess(keys[idx[a]], keys[idx[c]])
+			if desc {
+				return valueLess(keys[idx[c]], keys[idx[a]])
+			}
+			return less
+		})
+		sorted := make([]int, len(rows))
+		for i, j := range idx {
+			sorted[i] = rows[j]
+		}
+		rows = sorted
+	}
+	if stmt.Limit >= 0 && len(rows) > stmt.Limit {
+		rows = rows[:stmt.Limit]
+	}
+
+	start := time.Now()
+	res := &Result{Columns: p.cols, Explain: ex}
+	ctx := &evalCtx{b: p.b, pcRow: -1, vtRow: -1}
+	for _, r := range rows {
+		setRow(ctx, isVector, r)
+		out := make([]Value, len(p.exprs))
+		for i, ee := range p.exprs {
+			v, err := evalExpr(ctx, ee)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if ex != nil {
+		ex.Add("project", strings.Join(p.cols, ","), len(rows), len(res.Rows), time.Since(start))
+	}
+	return res, nil
+}
+
+func setRow(ctx *evalCtx, isVector bool, r int) {
+	if isVector {
+		ctx.vtRow = r
+		ctx.pcRow = -1
+	} else {
+		ctx.pcRow = r
+		ctx.vtRow = -1
+	}
+}
+
+func valueLess(a, b Value) bool {
+	if a.Kind == KindNum && b.Kind == KindNum {
+		return a.Num < b.Num
+	}
+	if a.Kind == KindStr && b.Kind == KindStr {
+		return a.Str < b.Str
+	}
+	return false
+}
+
+// outputAggregates computes one result row of aggregates.
+func outputAggregates(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
+	start := time.Now()
+	res := &Result{Columns: p.cols, Explain: ex}
+	out := make([]Value, len(stmt.Items))
+	for i, item := range stmt.Items {
+		f, _ := isAggregate(item.Expr)
+		v, err := computeAggregate(p.b, f, rows, isVector)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	res.Rows = append(res.Rows, out)
+	if ex != nil {
+		ex.Add("aggregate", "select list", len(rows), 1, time.Since(start))
+	}
+	return res, nil
+}
+
+func computeAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, error) {
+	if f.Name == "count" {
+		if len(f.Args) == 0 {
+			return Value{}, fmt.Errorf("sql: count requires an argument (use count(*))")
+		}
+		if _, ok := f.Args[0].(Star); ok {
+			return numVal(float64(len(rows))), nil
+		}
+	}
+	if len(f.Args) != 1 {
+		return Value{}, fmt.Errorf("sql: %s expects one argument", f.Name)
+	}
+	if v, ok, err := kernelAggregate(b, f, rows, isVector); ok {
+		return v, err
+	}
+	ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
+	// Accumulation matches the engine's aggregate kernels exactly (±Inf
+	// seeds, strict compares), so the same aggregate gives the same answer
+	// whether it routes through kernelAggregate or this fallback: sum/avg
+	// propagate NaN, min/max skip NaN values (they fail every ordered
+	// comparison), and an all-NaN selection reports the ±Inf identities.
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, r := range rows {
+		setRow(ctx, isVector, r)
+		v, err := evalExpr(ctx, f.Args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != KindNum {
+			return Value{}, fmt.Errorf("sql: %s needs numeric input", f.Name)
+		}
+		if v.Num < lo {
+			lo = v.Num
+		}
+		if v.Num > hi {
+			hi = v.Num
+		}
+		sum += v.Num
+		n++
+	}
+	switch f.Name {
+	case "count":
+		return numVal(float64(n)), nil
+	case "sum":
+		return numVal(sum), nil
+	case "avg":
+		if n == 0 {
+			return Value{Kind: KindNull}, nil
+		}
+		return numVal(sum / float64(n)), nil
+	case "min":
+		if n == 0 {
+			return Value{Kind: KindNull}, nil
+		}
+		return numVal(lo), nil
+	case "max":
+		if n == 0 {
+			return Value{Kind: KindNull}, nil
+		}
+		return numVal(hi), nil
+	default:
+		return Value{}, fmt.Errorf("sql: unknown aggregate %q", f.Name)
+	}
+}
+
+// kernelAggregate routes aggregates over a bare point-cloud column through
+// the engine's typed aggregate kernels instead of per-row expression
+// evaluation. ok reports whether the shape was recognised; when false, the
+// caller falls back to the generic path. Results are identical: column
+// references evaluate to the same float64 widening the kernels use, and
+// accumulation order is unchanged (ascending rows).
+func kernelAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, bool, error) {
+	if isVector || b.pc == nil {
+		return Value{}, false, nil
+	}
+	col, ok := pcColumnName(b, f.Args[0])
+	if !ok {
+		return Value{}, false, nil
+	}
+	var fn engine.AggFunc
+	switch f.Name {
+	case "count":
+		// count(col) over non-null numeric columns is the row count.
+		return numVal(float64(len(rows))), true, nil
+	case "sum":
+		fn = engine.AggSum
+	case "avg":
+		fn = engine.AggAvg
+	case "min":
+		fn = engine.AggMin
+	case "max":
+		fn = engine.AggMax
+	default:
+		return Value{}, false, nil
+	}
+	if len(rows) == 0 {
+		// SQL semantics over empty input: sum() is 0, the rest are NULL.
+		if fn == engine.AggSum {
+			return numVal(0), true, nil
+		}
+		return Value{Kind: KindNull}, true, nil
+	}
+	v, err := b.pc.Aggregate(rows, fn, col, nil)
+	if err != nil {
+		return Value{}, true, err
+	}
+	return numVal(v), true, nil
+}
+
+// --- helpers --------------------------------------------------------------------
+
+// allRows materialises the identity selection [0, n) in a pooled vector;
+// hand it back with engine.RecycleRows.
+func allRows(n int) []int {
+	rows := engine.AcquireRows(n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, i)
+	}
+	return rows
+}
+
+// intersectSorted intersects two ascending row-id lists, compacting into
+// a's prefix (the write index never overtakes the read index) so the
+// pooled identity vector narrows without allocating.
+func intersectSorted(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package sql
+
+import (
+	"testing"
+)
+
+// Steady-state allocation enforcement for the prepared-statement pipeline,
+// the SQL-layer extension of internal/engine/zeroalloc_test.go: once a
+// statement is prepared and the engine caches are warm, a repeated run may
+// allocate only its result materialisation — the Result struct, its row
+// list and one []Value per output row. Selection vectors, imprint
+// candidate ranges, grid scratch, kernel compilation and the vector-table
+// row sets are all pooled or hoisted into the plan. Treat a failure here
+// as a fast-path regression, not a flaky test (AllocsPerRun runs the
+// closure once as warm-up, which is exactly the cold query that fills the
+// caches and pools).
+
+// runSteady measures the steady-state allocations of one prepared query.
+func runSteady(t *testing.T, e *Executor, q string) (allocs float64, rows int) {
+	t.Helper()
+	pq, err := e.Prepare(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	res, err := pq.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	rows = len(res.Rows)
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := pq.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return allocs, rows
+}
+
+// TestPreparedAggregateSteadyStateAllocs covers the navigation shape the
+// paper's workload repeats: bbox region + thematic kernel predicates +
+// one compiled generic conjunct, aggregated. The whole pipeline above the
+// result row must be allocation-free: 1 Result + 1 row list + 1 row.
+func TestPreparedAggregateSteadyStateAllocs(t *testing.T) {
+	e, _, _, _ := testDB(t)
+	q := `SELECT count(*) FROM ahn2
+		WHERE ST_Contains(ST_MakeEnvelope(150, 150, 1700, 1620), ST_Point(x, y))
+		  AND classification = 2 AND intensity BETWEEN 10 AND 60000
+		  AND z - intensity < 100000`
+	allocs, rows := runSteady(t, e, q)
+	if rows != 1 {
+		t.Fatalf("aggregate produced %d rows, want 1", rows)
+	}
+	if allocs > 3 {
+		t.Fatalf("prepared bbox+attribute aggregate allocates %.1f objects/op, want <= 3 (result only)", allocs)
+	}
+}
+
+// TestPreparedVectorSteadyStateAllocs covers the pooled vector-table path:
+// the identity row set, the class-dictionary scan buffer and the sorted
+// intersection all draw from the engine pool.
+func TestPreparedVectorSteadyStateAllocs(t *testing.T) {
+	e, _, _, _ := testDB(t)
+	allocs, _ := runSteady(t, e, `SELECT count(*) FROM osm WHERE class = 'motorway'`)
+	if allocs > 3 {
+		t.Fatalf("prepared vector class count allocates %.1f objects/op, want <= 3 (result only)", allocs)
+	}
+}
+
+// TestPreparedProjectionSteadyStateAllocs pins the projection path to its
+// result materialisation: one Result, one []Value per emitted row, and the
+// logarithmic growth appends of the row list.
+func TestPreparedProjectionSteadyStateAllocs(t *testing.T) {
+	e, _, _, _ := testDB(t)
+	q := `SELECT x, y FROM ahn2
+		WHERE ST_Contains(ST_MakeEnvelope(150, 150, 400, 400), ST_Point(x, y))
+		  AND classification = 2 LIMIT 4`
+	allocs, rows := runSteady(t, e, q)
+	if rows == 0 {
+		t.Fatal("projection matched no rows; the measurement is vacuous")
+	}
+	// Budget: Result + per-row []Value + row-list growth (≤ log2(rows)+1).
+	budget := float64(1 + rows + rows)
+	if allocs > budget {
+		t.Fatalf("prepared projection allocates %.1f objects/op for %d rows, budget %.0f (result rows only)",
+			allocs, rows, budget)
+	}
+}
