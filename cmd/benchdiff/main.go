@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 2.0] [-experiment repeated] [-prefix sql] baseline.json new.json
+//	benchdiff [-threshold 2.0] [-experiment repeated,panzoom] [-prefix sql] baseline.json new.json
 package main
 
 import (
@@ -54,7 +54,8 @@ func key(r record) string { return r.Experiment + "|" + r.Name + "|" + r.Arm }
 
 func main() {
 	threshold := flag.Float64("threshold", 2.0, "fail when new/baseline time exceeds this ratio")
-	experiment := flag.String("experiment", "repeated", "guard records of this experiment (empty = all)")
+	experiment := flag.String("experiment", "repeated,panzoom",
+		"guard records of these experiments, comma-separated (empty = all)")
 	prefix := flag.String("prefix", "sql", "guard records whose name has this prefix (empty = all)")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -77,8 +78,14 @@ func main() {
 		baseline[key(r)] = r.NsPerOp
 	}
 
+	experiments := map[string]bool{}
+	if *experiment != "" {
+		for _, e := range strings.Split(*experiment, ",") {
+			experiments[strings.TrimSpace(e)] = true
+		}
+	}
 	guarded := func(r record) bool {
-		if *experiment != "" && r.Experiment != *experiment {
+		if len(experiments) > 0 && !experiments[r.Experiment] {
 			return false
 		}
 		if *prefix != "" && !strings.HasPrefix(r.Name, *prefix) {

@@ -197,8 +197,9 @@ func expRepeated(env *benchEnv, w io.Writer, repeats int) {
 	fmt.Fprintf(w, "plan cache: %d kernels cached, %d hits / %d misses since last invalidation\n",
 		st.Entries, st.Hits, st.Misses)
 	ss := exec.StmtCacheStats()
-	fmt.Fprintf(w, "stmt cache: %d statements, %d hits / %d misses, %d epoch invalidations\n",
-		ss.Entries, ss.Hits, ss.Misses, ss.Invalidations)
+	fmt.Fprintf(w, "stmt cache: %d shapes, %d hits (%d shape hits, %d rebinds) / %d misses, %d epoch invalidations\n",
+		ss.Entries, ss.Hits, ss.ShapeHits, ss.Rebinds, ss.Misses, ss.Invalidations)
+	env.report.addCache("repeated", ss, env.pc.PlanCacheStats())
 	fmt.Fprintf(w, "sql cold/steady %.1fx; prepared bbox sql vs engine SelectRegionRows %.2fx\n",
 		coldVsSteady, gap)
 	if allocs != 0 || allocsT != 0 {

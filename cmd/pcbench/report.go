@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"os"
 	"time"
+
+	"gisnav/internal/engine"
+	"gisnav/internal/sql"
 )
 
 // jsonRecord is one measured arm of one experiment — the machine-readable
@@ -22,14 +25,32 @@ type jsonRecord struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
+// cacheRecord snapshots the statement- and plan-cache counters after one
+// experiment, so the trajectory captures hit rates and rebind counts, not
+// just latencies — a pan/zoom regression that silently stops rebinding
+// shows up here even if the timing noise hides it.
+type cacheRecord struct {
+	Experiment         string `json:"experiment"`
+	StmtEntries        int    `json:"stmt_entries"`
+	StmtHits           uint64 `json:"stmt_hits"`
+	StmtMisses         uint64 `json:"stmt_misses"`
+	StmtShapeHits      uint64 `json:"stmt_shape_hits"`
+	StmtRebinds        uint64 `json:"stmt_rebinds"`
+	StmtInvalidations  uint64 `json:"stmt_invalidations"`
+	PlanKernelsCached  int    `json:"plan_kernels_cached"`
+	PlanKernelHits     uint64 `json:"plan_kernel_hits"`
+	PlanKernelCompiles uint64 `json:"plan_kernel_compiles"`
+}
+
 // jsonReport accumulates records across experiments and serialises them.
 type jsonReport struct {
 	Dataset struct {
 		Points int    `json:"points"`
 		Scale  string `json:"scale"`
 	} `json:"dataset"`
-	GeneratedAt string       `json:"generated_at"`
-	Records     []jsonRecord `json:"records"`
+	GeneratedAt string        `json:"generated_at"`
+	Records     []jsonRecord  `json:"records"`
+	CacheStats  []cacheRecord `json:"cache_stats,omitempty"`
 }
 
 // add appends one measurement.
@@ -59,6 +80,22 @@ func (r *jsonReport) addFull(experiment, name, arm string, rows, matches int, d 
 	if allocs >= 0 {
 		r.Records[len(r.Records)-1].AllocsPerOp = &allocs
 	}
+}
+
+// addCache appends one experiment's cache-counter snapshot.
+func (r *jsonReport) addCache(experiment string, ss sql.StmtCacheStats, ps engine.PlanCacheStats) {
+	r.CacheStats = append(r.CacheStats, cacheRecord{
+		Experiment:         experiment,
+		StmtEntries:        ss.Entries,
+		StmtHits:           ss.Hits,
+		StmtMisses:         ss.Misses,
+		StmtShapeHits:      ss.ShapeHits,
+		StmtRebinds:        ss.Rebinds,
+		StmtInvalidations:  ss.Invalidations,
+		PlanKernelsCached:  ps.Entries,
+		PlanKernelHits:     ps.Hits,
+		PlanKernelCompiles: ps.Misses,
+	})
 }
 
 // write dumps the report as indented JSON to path.

@@ -74,13 +74,14 @@ func (pc *PointCloud) FilterRangeIndexed(name string, lo, hi float64, ex *Explai
 	}
 
 	start = time.Now()
-	k := pc.compileRangeCached(col, name, lo, hi)
+	k := pc.compileRangeCached(col, name)
+	a := k.Bind(lo, hi)
 	rows := getRowBuf(im.EstimateRows(lo, hi))
 	if pc.Parallel && colstore.RangesLen(cand) >= kernelParallelRows {
-		rows = filterBlocksParallel(k, cand, rows)
+		rows = filterBlocksParallel(k, a, cand, rows)
 	} else {
 		for _, r := range cand {
-			rows = k.FilterBlock(r.Start, r.End, rows)
+			rows = k.FilterBlock(a, r.Start, r.End, rows)
 		}
 	}
 	if ex != nil {
@@ -95,11 +96,11 @@ func (pc *PointCloud) FilterRangeIndexed(name string, lo, hi float64, ex *Explai
 // concatenates the partial results in partition order. Partitions cover
 // disjoint, ascending row ranges, so the result is bit-identical to the
 // sequential pass.
-func filterBlocksParallel(k *Kernel, cand []colstore.Range, out []int) []int {
+func filterBlocksParallel(k *Kernel, a KernelArgs, cand []colstore.Range, out []int) []int {
 	parts := grid.SplitRanges(cand, 0)
 	if len(parts) == 1 {
 		for _, r := range parts[0] {
-			out = k.FilterBlock(r.Start, r.End, out)
+			out = k.FilterBlock(a, r.Start, r.End, out)
 		}
 		return out
 	}
@@ -111,7 +112,7 @@ func filterBlocksParallel(k *Kernel, cand []colstore.Range, out []int) []int {
 			defer wg.Done()
 			buf := getRowBuf(colstore.RangesLen(parts[w]))
 			for _, r := range parts[w] {
-				buf = k.FilterBlock(r.Start, r.End, buf)
+				buf = k.FilterBlock(a, r.Start, r.End, buf)
 			}
 			results[w] = buf
 		}(w)
@@ -133,8 +134,8 @@ func (pc *PointCloud) FilterRangeScan(name string, lo, hi float64, ex *Explain) 
 		return nil, fmt.Errorf("engine: unknown column %q", name)
 	}
 	start := time.Now()
-	k := pc.compileRangeCached(col, name, lo, hi)
-	rows := k.FilterBlock(0, col.Len(), getRowBuf(col.Len()))
+	k := pc.compileRangeCached(col, name)
+	rows := k.FilterBlock(k.Bind(lo, hi), 0, col.Len(), getRowBuf(col.Len()))
 	if ex != nil {
 		ex.Add(opScanRange, fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
 			pc.Len(), len(rows), time.Since(start))

@@ -100,13 +100,16 @@ func (pc *PointCloud) FilterRows(rows []int, preds []ColumnPred, ex *Explain) ([
 			}
 			return nil, fmt.Errorf("engine: unknown column %q", pred.Column)
 		}
-		k := pc.compileFilterCached(col, pred)
+		k := pc.compileFilterCached(col, pred.Column, pred.Op)
+		// Bind the run's constants into the per-run slot record; the cached
+		// kernel itself is constant-free (see kernels.go).
+		a := k.Bind(pred.Value, pred.Value2)
 		start := time.Now()
 		switch {
 		case rows == nil:
 			// First predicate over the whole table: run the block kernel
 			// directly instead of materialising an identity vector.
-			rows = k.FilterBlock(0, pc.Len(), getRowBuf(pc.predHint(pred)))
+			rows = k.FilterBlock(a, 0, pc.Len(), getRowBuf(pc.predHint(pred)))
 			owned = true
 			if ex != nil {
 				ex.Add(opFilterColumn, pred.String(), pc.Len(), len(rows), time.Since(start))
@@ -114,7 +117,7 @@ func (pc *PointCloud) FilterRows(rows []int, preds []ColumnPred, ex *Explain) ([
 		case !owned:
 			// Copy-on-first-write: the caller keeps its slice untouched.
 			in := len(rows)
-			rows = k.FilterSel(rows, getRowBuf(in))
+			rows = k.FilterSel(a, rows, getRowBuf(in))
 			owned = true
 			if ex != nil {
 				ex.Add(opFilterColumn, pred.String(), in, len(rows), time.Since(start))
@@ -123,7 +126,7 @@ func (pc *PointCloud) FilterRows(rows []int, preds []ColumnPred, ex *Explain) ([
 			// We own the buffer now; compact in place (the write index
 			// never overtakes the read index).
 			in := len(rows)
-			rows = k.FilterSel(rows, rows[:0])
+			rows = k.FilterSel(a, rows, rows[:0])
 			if ex != nil {
 				ex.Add(opFilterColumn, pred.String(), in, len(rows), time.Since(start))
 			}

@@ -1,16 +1,28 @@
-// Vectorized execution kernels: a ColumnPred is compiled ONCE into a typed,
-// operator-specialised filter kernel, then applied block-at-a-time over
-// candidate ranges or selection vectors. This is the MonetDB-style
-// operator-at-a-time execution the paper's performance case rests on
-// (§2.1.1): the per-row cost is a monomorphic compare plus a branchless
-// selection-vector write, with no interface dispatch, no operator
+// Vectorized execution kernels: a predicate is compiled ONCE per
+// (column, operator) into a typed, op-specialised filter kernel, then applied
+// block-at-a-time over candidate ranges or selection vectors. This is the
+// MonetDB-style operator-at-a-time execution the paper's performance case
+// rests on (§2.1.1): the per-row cost is a monomorphic compare plus a
+// branchless selection-vector write, with no interface dispatch, no operator
 // re-dispatch, and no float64 widening on integer columns.
 //
+// Constant-slot invariant: compiled kernels do NOT close over predicate
+// constants. The constants live in a KernelArgs record the caller binds once
+// per run (Kernel.Bind) and passes by value into every FilterBlock/FilterSel
+// call. A kernel is therefore pure per (column backing array, operator) and
+// one compiled kernel serves every constant vector — the paper's pan/zoom
+// workload slides its bbox on every step, and with constants out of the
+// kernel the plan cache hits on every one of them (plancache.go keys on
+// (column, op) alone; NaN constants need no cache bypass anymore because they
+// never reach a map key). Binding is cheap: floats are stored as-is, integer
+// domains run constant normalisation (normalizeIntPred) once per run, never
+// per row.
+//
 // Integer columns (u8, u16, i32) are filtered in their native integer
-// domain. The predicate's float64 constant is normalised once into an
+// domain. The predicate's float64 constant is normalised at bind time into an
 // inclusive integer interval [lo, hi] clamped to the column type's range —
 // non-integral constants, out-of-range constants, NaN and ±Inf all reduce
-// to trivially-true / trivially-false kernels or a tightened bound, so the
+// to trivially-true / trivially-false shapes or a tightened bound, so the
 // per-value loop never sees a conversion. Every value of these types is
 // exactly representable in float64, which makes the integer-domain result
 // bit-identical to the naive float-widening scan. i64 columns keep the
@@ -24,17 +36,39 @@ import (
 	"gisnav/internal/colstore"
 )
 
+// KernelArgs is the per-run constant-slot record of one compiled kernel:
+// float-domain constants for the float kernels, plus the bind-time
+// normalised integer shape and bounds for the integer-domain kernels. It is
+// produced by Kernel.Bind and passed BY VALUE through the filter entry
+// points — no pointer, so per-query binding never escapes to the heap and
+// the zero-allocation steady state survives.
+type KernelArgs struct {
+	f1, f2 float64  // float-domain predicate constants
+	i1, i2 int64    // normalised integer bounds [i1, i2] (bind-time)
+	shape  intShape // normalised integer-domain shape (bind-time)
+}
+
 // blockFn appends the row ids in [lo, hi) that satisfy the compiled
-// predicate to out and returns the extended slice.
-type blockFn func(lo, hi int, out []int) []int
+// predicate under args a to out and returns the extended slice.
+type blockFn func(a KernelArgs, lo, hi int, out []int) []int
 
 // selFn appends the row ids from rows that satisfy the compiled predicate
-// to out. out may alias rows[:0]: the write index never overtakes the read
-// index, so in-place compaction is safe.
-type selFn func(rows, out []int) []int
+// under args a to out. out may alias rows[:0]: the write index never
+// overtakes the read index, so in-place compaction is safe.
+type selFn func(a KernelArgs, rows, out []int) []int
 
-// Kernel is a compiled ColumnPred bound to one column's backing array.
+// bindFn normalises one predicate's constants into a KernelArgs record.
+type bindFn func(v1, v2 float64) KernelArgs
+
+// Kernel is a compiled (column, operator) pair bound to one column's backing
+// array. Constants are NOT part of the kernel: Bind turns them into the
+// KernelArgs every filter call takes, so one kernel serves every constant
+// vector until the backing array moves (see plancache.go).
 type Kernel struct {
+	// Bind normalises predicate constants (Value, Value2) into the args
+	// record subsequent FilterBlock/FilterSel calls read. Pure: safe for
+	// concurrent binds of the same kernel.
+	Bind bindFn
 	// FilterBlock scans rows [lo, hi) of the column and appends matches to
 	// out — the block-at-a-time entry point driven by imprint candidate
 	// ranges.
@@ -43,37 +77,62 @@ type Kernel struct {
 	FilterSel selFn
 }
 
-// CompileFilter compiles pred into a kernel specialised for col's concrete
-// type and the predicate's operator. Columns without a typed fast path
-// (dictionary strings) fall back to a generic Value() loop with semantics
-// identical to ColumnPred.Matches.
+// CompileFilterKernel compiles the (column, op) pair into a kernel
+// specialised for col's concrete type and the operator. Columns without a
+// typed fast path (dictionary strings) fall back to a generic Value() loop
+// with semantics identical to ColumnPred.Matches.
 // Each arm below dispatches through a concrete-typed helper rather than a
 // shared generic one: instantiating the per-op generic loops from inside
 // another generic function would leave them on the compiler's gcshape
 // dictionary path, which costs ~4x in the inner loop. One level of
 // genericity, instantiated from non-generic code, compiles to fully
 // specialised loops.
-func CompileFilter(col colstore.Column, pred ColumnPred) *Kernel {
+func CompileFilterKernel(col colstore.Column, op CmpOp) *Kernel {
 	switch t := col.(type) {
 	case *colstore.F64Column:
-		return floatKernelF64(t.Values(), pred)
+		return floatKernelF64(t.Values(), op)
 	case *colstore.U8Column:
-		return intKernelU8(t.Values(), pred)
+		return intKernelU8(t.Values(), op)
 	case *colstore.U16Column:
-		return intKernelU16(t.Values(), pred)
+		return intKernelU16(t.Values(), op)
 	case *colstore.I32Column:
-		return intKernelI32(t.Values(), pred)
+		return intKernelI32(t.Values(), op)
 	case *colstore.I64Column:
 		// Lossy widening: keep float64-compare semantics, but monomorphic.
-		return floatKernelI64(t.Values(), pred)
+		return floatKernelI64(t.Values(), op)
 	default:
-		return genericKernel(col, pred)
+		return genericKernel(col, op)
 	}
 }
 
+// BoundKernel pairs a compiled kernel with one bound constant record — the
+// one-shot convenience for callers outside the plan-cache fast path (tests,
+// benchmarks, ad-hoc tooling) that still think in terms of a fully
+// constant-specialised kernel.
+type BoundKernel struct {
+	k *Kernel
+	a KernelArgs
+}
+
+// FilterBlock scans rows [lo, hi) under the bound constants.
+func (b *BoundKernel) FilterBlock(lo, hi int, out []int) []int {
+	return b.k.FilterBlock(b.a, lo, hi, out)
+}
+
+// FilterSel narrows rows under the bound constants.
+func (b *BoundKernel) FilterSel(rows, out []int) []int {
+	return b.k.FilterSel(b.a, rows, out)
+}
+
+// CompileFilter compiles pred into a kernel with its constants pre-bound.
+func CompileFilter(col colstore.Column, pred ColumnPred) *BoundKernel {
+	k := CompileFilterKernel(col, pred.Op)
+	return &BoundKernel{k: k, a: k.Bind(pred.Value, pred.Value2)}
+}
+
 // CompileRange compiles the inclusive range predicate lo <= v <= hi — the
-// shape produced by the imprint filter path.
-func CompileRange(col colstore.Column, name string, lo, hi float64) *Kernel {
+// shape produced by the imprint filter path — with the bounds pre-bound.
+func CompileRange(col colstore.Column, name string, lo, hi float64) *BoundKernel {
 	return CompileFilter(col, ColumnPred{Column: name, Op: CmpBetween, Value: lo, Value2: hi})
 }
 
@@ -90,15 +149,15 @@ type number interface {
 const scanChunk = 1024
 
 // chunkBlockFn writes the row ids in [lo, hi) (at most scanChunk rows)
-// matching the compiled predicate into buf and returns how many matched.
-// buf must have room for hi-lo ids: the inner loops write every candidate
-// unconditionally and advance the write index only on a match, so random
-// selectivities pay no data-dependent branches.
-type chunkBlockFn func(lo, hi int, buf []int) int
+// matching the compiled predicate under args a into buf and returns how many
+// matched. buf must have room for hi-lo ids: the inner loops write every
+// candidate unconditionally and advance the write index only on a match, so
+// random selectivities pay no data-dependent branches.
+type chunkBlockFn func(a KernelArgs, lo, hi int, buf []int) int
 
 // chunkSelFn is the selection-vector counterpart: it writes the surviving
 // ids of rows (at most scanChunk of them) into buf.
-type chunkSelFn func(rows, buf []int) int
+type chunkSelFn func(a KernelArgs, rows, buf []int) int
 
 // The inner loops below materialise each comparison as a 0/1 increment
 // written out longhand (`inc := 0; if cond { inc = 1 }; j += inc`) instead
@@ -107,7 +166,9 @@ type chunkSelFn func(rows, buf []int) int
 // inlined inside gcshape-stenciled generic instantiations and costs a real
 // CALL per row (measured ~4x on the u8 kernel). Compound predicates combine
 // two flags with & — a && would reintroduce a data-dependent short-circuit
-// branch that mispredicts at mid selectivities.
+// branch that mispredicts at mid selectivities. The predicate constants are
+// hoisted from the args record once per chunk call, so the row loops see
+// plain locals.
 
 // growRows extends out's capacity to hold n more elements.
 func growRows(out []int, n int) []int {
@@ -124,6 +185,11 @@ func growRows(out []int, n int) []int {
 	return grown
 }
 
+// bindFloat stores the raw float-domain constants; the float kernels apply
+// ColumnPred.Matches semantics (including NaN failing every operator except
+// <>) directly in their compare loops.
+func bindFloat(v1, v2 float64) KernelArgs { return KernelArgs{f1: v1, f2: v2} }
+
 // chunkKernel wraps per-op chunk filters into a Kernel: it reserves output
 // capacity per chunk and drives the monomorphic inner loops. n bounds block
 // scans to the column length. The per-chunk indirect call amortises over
@@ -132,9 +198,10 @@ func growRows(out []int, n int) []int {
 // The selection path may compact in place (out aliasing rows[:0]): the
 // chunk's unconditional writes land at indices never past the current read
 // position, because matches emitted so far can't exceed rows consumed.
-func chunkKernel(n int, cb chunkBlockFn, cs chunkSelFn) *Kernel {
+func chunkKernel(n int, bind bindFn, cb chunkBlockFn, cs chunkSelFn) *Kernel {
 	return &Kernel{
-		FilterBlock: func(lo, hi int, out []int) []int {
+		Bind: bind,
+		FilterBlock: func(a KernelArgs, lo, hi int, out []int) []int {
 			if hi > n {
 				hi = n
 			}
@@ -144,20 +211,20 @@ func chunkKernel(n int, cb chunkBlockFn, cs chunkSelFn) *Kernel {
 				if cap(out)-len(out) < cn {
 					out = growRows(out, cn)
 				}
-				j := cb(lo, end, out[len(out):len(out)+cn])
+				j := cb(a, lo, end, out[len(out):len(out)+cn])
 				out = out[:len(out)+j]
 				lo = end
 			}
 			return out
 		},
-		FilterSel: func(rows, out []int) []int {
+		FilterSel: func(a KernelArgs, rows, out []int) []int {
 			for base := 0; base < len(rows); base += scanChunk {
 				end := min(base+scanChunk, len(rows))
 				cn := end - base
 				if cap(out)-len(out) < cn {
 					out = growRows(out, cn)
 				}
-				j := cs(rows[base:end], out[len(out):len(out)+cn])
+				j := cs(a, rows[base:end], out[len(out):len(out)+cn])
 				out = out[:len(out)+j]
 			}
 			return out
@@ -173,9 +240,9 @@ func chunkKernel(n int, cb chunkBlockFn, cs chunkSelFn) *Kernel {
 // per operator keeps the comparison in the function body, so every
 // (type × op) pair stencils into a direct branch-free loop.
 
-func feqKernel[T number](vals []T, c float64) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
+func feqKernel[T number](vals []T) *Kernel {
+	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
+			c := a.f1
 			j := 0
 			for k, v := range vals[lo:hi] {
 				buf[j] = lo + k
@@ -187,7 +254,8 @@ func feqKernel[T number](vals []T, c float64) *Kernel {
 			}
 			return j
 		},
-		func(rows, buf []int) int {
+		func(a KernelArgs, rows, buf []int) int {
+			c := a.f1
 			j := 0
 			for _, r := range rows {
 				buf[j] = r
@@ -201,9 +269,9 @@ func feqKernel[T number](vals []T, c float64) *Kernel {
 		})
 }
 
-func fneKernel[T number](vals []T, c float64) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
+func fneKernel[T number](vals []T) *Kernel {
+	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
+			c := a.f1
 			j := 0
 			for k, v := range vals[lo:hi] {
 				buf[j] = lo + k
@@ -215,7 +283,8 @@ func fneKernel[T number](vals []T, c float64) *Kernel {
 			}
 			return j
 		},
-		func(rows, buf []int) int {
+		func(a KernelArgs, rows, buf []int) int {
+			c := a.f1
 			j := 0
 			for _, r := range rows {
 				buf[j] = r
@@ -229,9 +298,9 @@ func fneKernel[T number](vals []T, c float64) *Kernel {
 		})
 }
 
-func fltKernel[T number](vals []T, c float64) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
+func fltKernel[T number](vals []T) *Kernel {
+	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
+			c := a.f1
 			j := 0
 			for k, v := range vals[lo:hi] {
 				buf[j] = lo + k
@@ -243,7 +312,8 @@ func fltKernel[T number](vals []T, c float64) *Kernel {
 			}
 			return j
 		},
-		func(rows, buf []int) int {
+		func(a KernelArgs, rows, buf []int) int {
+			c := a.f1
 			j := 0
 			for _, r := range rows {
 				buf[j] = r
@@ -257,9 +327,9 @@ func fltKernel[T number](vals []T, c float64) *Kernel {
 		})
 }
 
-func fleKernel[T number](vals []T, c float64) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
+func fleKernel[T number](vals []T) *Kernel {
+	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
+			c := a.f1
 			j := 0
 			for k, v := range vals[lo:hi] {
 				buf[j] = lo + k
@@ -271,7 +341,8 @@ func fleKernel[T number](vals []T, c float64) *Kernel {
 			}
 			return j
 		},
-		func(rows, buf []int) int {
+		func(a KernelArgs, rows, buf []int) int {
+			c := a.f1
 			j := 0
 			for _, r := range rows {
 				buf[j] = r
@@ -285,9 +356,9 @@ func fleKernel[T number](vals []T, c float64) *Kernel {
 		})
 }
 
-func fgtKernel[T number](vals []T, c float64) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
+func fgtKernel[T number](vals []T) *Kernel {
+	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
+			c := a.f1
 			j := 0
 			for k, v := range vals[lo:hi] {
 				buf[j] = lo + k
@@ -299,7 +370,8 @@ func fgtKernel[T number](vals []T, c float64) *Kernel {
 			}
 			return j
 		},
-		func(rows, buf []int) int {
+		func(a KernelArgs, rows, buf []int) int {
+			c := a.f1
 			j := 0
 			for _, r := range rows {
 				buf[j] = r
@@ -313,9 +385,9 @@ func fgtKernel[T number](vals []T, c float64) *Kernel {
 		})
 }
 
-func fgeKernel[T number](vals []T, c float64) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
+func fgeKernel[T number](vals []T) *Kernel {
+	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
+			c := a.f1
 			j := 0
 			for k, v := range vals[lo:hi] {
 				buf[j] = lo + k
@@ -327,7 +399,8 @@ func fgeKernel[T number](vals []T, c float64) *Kernel {
 			}
 			return j
 		},
-		func(rows, buf []int) int {
+		func(a KernelArgs, rows, buf []int) int {
+			c := a.f1
 			j := 0
 			for _, r := range rows {
 				buf[j] = r
@@ -341,9 +414,9 @@ func fgeKernel[T number](vals []T, c float64) *Kernel {
 		})
 }
 
-func frangeKernel[T number](vals []T, lo, hi float64) *Kernel {
-	return chunkKernel(len(vals),
-		func(b0, b1 int, buf []int) int {
+func frangeKernel[T number](vals []T) *Kernel {
+	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, b0, b1 int, buf []int) int {
+			lo, hi := a.f1, a.f2
 			j := 0
 			for k, v := range vals[b0:b1] {
 				buf[j] = b0 + k
@@ -361,7 +434,8 @@ func frangeKernel[T number](vals []T, lo, hi float64) *Kernel {
 			}
 			return j
 		},
-		func(rows, buf []int) int {
+		func(a KernelArgs, rows, buf []int) int {
+			lo, hi := a.f1, a.f2
 			j := 0
 			for _, r := range rows {
 				buf[j] = r
@@ -380,24 +454,24 @@ func frangeKernel[T number](vals []T, lo, hi float64) *Kernel {
 }
 
 // floatKernelF64 builds the op-specialised float-domain kernel over a
-// float64 column. It is deliberately concrete (see CompileFilter): the
+// float64 column. It is deliberately concrete (see CompileFilterKernel): the
 // generic per-op constructors instantiate here at a concrete type.
-func floatKernelF64(vals []float64, pred ColumnPred) *Kernel {
-	switch pred.Op {
+func floatKernelF64(vals []float64, op CmpOp) *Kernel {
+	switch op {
 	case CmpEQ:
-		return feqKernel(vals, pred.Value)
+		return feqKernel(vals)
 	case CmpNE:
-		return fneKernel(vals, pred.Value)
+		return fneKernel(vals)
 	case CmpLT:
-		return fltKernel(vals, pred.Value)
+		return fltKernel(vals)
 	case CmpLE:
-		return fleKernel(vals, pred.Value)
+		return fleKernel(vals)
 	case CmpGT:
-		return fgtKernel(vals, pred.Value)
+		return fgtKernel(vals)
 	case CmpGE:
-		return fgeKernel(vals, pred.Value)
+		return fgeKernel(vals)
 	case CmpBetween:
-		return frangeKernel(vals, pred.Value, pred.Value2)
+		return frangeKernel(vals)
 	default:
 		// Unknown operators match nothing, as in ColumnPred.Matches.
 		return noneKernel()
@@ -406,22 +480,22 @@ func floatKernelF64(vals []float64, pred ColumnPred) *Kernel {
 
 // floatKernelI64 is the float-compare kernel over an int64 column (lossy
 // widening, identical to the naive arm's semantics).
-func floatKernelI64(vals []int64, pred ColumnPred) *Kernel {
-	switch pred.Op {
+func floatKernelI64(vals []int64, op CmpOp) *Kernel {
+	switch op {
 	case CmpEQ:
-		return feqKernel(vals, pred.Value)
+		return feqKernel(vals)
 	case CmpNE:
-		return fneKernel(vals, pred.Value)
+		return fneKernel(vals)
 	case CmpLT:
-		return fltKernel(vals, pred.Value)
+		return fltKernel(vals)
 	case CmpLE:
-		return fleKernel(vals, pred.Value)
+		return fleKernel(vals)
 	case CmpGT:
-		return fgtKernel(vals, pred.Value)
+		return fgtKernel(vals)
 	case CmpGE:
-		return fgeKernel(vals, pred.Value)
+		return fgeKernel(vals)
 	case CmpBetween:
-		return frangeKernel(vals, pred.Value, pred.Value2)
+		return frangeKernel(vals)
 	default:
 		return noneKernel()
 	}
@@ -435,157 +509,14 @@ type integer interface {
 }
 
 // unsigned is the same-width unsigned counterpart used by the modular range
-// trick (see irangeKernel).
+// trick (see intChunks).
 type unsigned interface {
 	~uint32 | ~uint16 | ~uint8
 }
 
-func ieqKernel[T integer](vals []T, c T) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if v == c {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		},
-		func(rows, buf []int) int {
-			j := 0
-			for _, r := range rows {
-				buf[j] = r
-				inc := 0
-				if vals[r] == c {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		})
-}
-
-func ineKernel[T integer](vals []T, c T) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if v != c {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		},
-		func(rows, buf []int) int {
-			j := 0
-			for _, r := range rows {
-				buf[j] = r
-				inc := 0
-				if vals[r] != c {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		})
-}
-
-func ileKernel[T integer](vals []T, c T) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if v <= c {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		},
-		func(rows, buf []int) int {
-			j := 0
-			for _, r := range rows {
-				buf[j] = r
-				inc := 0
-				if vals[r] <= c {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		})
-}
-
-func igeKernel[T integer](vals []T, c T) *Kernel {
-	return chunkKernel(len(vals),
-		func(lo, hi int, buf []int) int {
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if v >= c {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		},
-		func(rows, buf []int) int {
-			j := 0
-			for _, r := range rows {
-				buf[j] = r
-				inc := 0
-				if vals[r] >= c {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		})
-}
-
-// irangeKernel tests lo <= v <= hi with one compare via modular arithmetic:
-// for lo <= hi, v ∈ [lo, hi] iff U(v-lo) <= U(hi-lo) in the same-width
-// unsigned domain U (two's-complement wraparound makes this exact for
-// signed T as well).
-func irangeKernel[T integer, U unsigned](vals []T, lo, hi T) *Kernel {
-	span := U(hi) - U(lo)
-	return chunkKernel(len(vals),
-		func(b0, b1 int, buf []int) int {
-			j := 0
-			for k, v := range vals[b0:b1] {
-				buf[j] = b0 + k
-				inc := 0
-				if U(v)-U(lo) <= span {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		},
-		func(rows, buf []int) int {
-			j := 0
-			for _, r := range rows {
-				buf[j] = r
-				inc := 0
-				if U(vals[r])-U(lo) <= span {
-					inc = 1
-				}
-				j += inc
-			}
-			return j
-		})
-}
-
 // intShape is the normalised form of a predicate over an integer domain.
+// With constants bound per run, the shape is per-run state (KernelArgs), not
+// compile-time structure: the chunk loops dispatch on it once per chunk.
 type intShape uint8
 
 const (
@@ -598,14 +529,14 @@ const (
 	shapeRange                 // lo <= v <= hi
 )
 
-// normalizeIntPred reduces pred's float64 constants to an inclusive integer
-// interval [lo, hi] over the type domain [tmin, tmax], or to one of the
-// degenerate shapes. The reduction is exact: a value v in [tmin, tmax]
-// satisfies the original float-domain predicate iff it satisfies the
-// returned shape.
-func normalizeIntPred(pred ColumnPred, tmin, tmax int64) (shape intShape, lo, hi int64) {
-	c := pred.Value
-	if pred.Op == CmpNE {
+// normalizeIntPred reduces the float64 constants of (op, v1, v2) to an
+// inclusive integer interval [lo, hi] over the type domain [tmin, tmax], or
+// to one of the degenerate shapes. The reduction is exact: a value v in
+// [tmin, tmax] satisfies the original float-domain predicate iff it
+// satisfies the returned shape. It runs once per bind, never per row.
+func normalizeIntPred(op CmpOp, v1, v2 float64, tmin, tmax int64) (shape intShape, lo, hi int64) {
+	c := v1
+	if op == CmpNE {
 		// v != c holds for every integer v unless c is an integral value
 		// inside the domain.
 		if math.IsNaN(c) || c != math.Trunc(c) || c < float64(tmin) || c > float64(tmax) {
@@ -615,7 +546,7 @@ func normalizeIntPred(pred ColumnPred, tmin, tmax int64) (shape intShape, lo, hi
 	}
 	// Express the operator as a float-domain inclusive interval [flo, fhi].
 	flo, fhi := math.Inf(-1), math.Inf(1)
-	switch pred.Op {
+	switch op {
 	case CmpEQ:
 		// ceil/floor cross for non-integral constants, yielding the empty
 		// interval; for integral constants both equal c.
@@ -629,7 +560,7 @@ func normalizeIntPred(pred ColumnPred, tmin, tmax int64) (shape intShape, lo, hi
 	case CmpGE:
 		flo = math.Ceil(c)
 	case CmpBetween:
-		flo, fhi = math.Ceil(c), math.Floor(pred.Value2)
+		flo, fhi = math.Ceil(c), math.Floor(v2)
 	default:
 		return shapeNone, 0, 0
 	}
@@ -665,108 +596,191 @@ func normalizeIntPred(pred ColumnPred, tmin, tmax int64) (shape intShape, lo, hi
 	}
 }
 
-// intKernelU8 builds native-integer-domain loops for pred over a u8
-// column. The three intKernel* helpers are concrete clones of one
-// shape-switch: routing them through a shared generic dispatcher would
-// nest the per-op instantiations onto the slow gcshape dictionary path
-// (see CompileFilter).
-func intKernelU8(vals []uint8, pred ColumnPred) *Kernel {
-	shape, lo64, hi64 := normalizeIntPred(pred, 0, math.MaxUint8)
-	lo, hi := uint8(lo64), uint8(hi64)
-	switch shape {
-	case shapeAll:
-		return allKernel(len(vals))
-	case shapeNone:
-		return noneKernel()
-	case shapeEQ:
-		return ieqKernel(vals, lo)
-	case shapeNE:
-		return ineKernel(vals, lo)
-	case shapeLE:
-		return ileKernel(vals, hi)
-	case shapeGE:
-		return igeKernel(vals, lo)
-	default:
-		return irangeKernel[uint8, uint8](vals, lo, hi)
+// bindInt builds the bind step of an integer-domain kernel: it normalises
+// the run's constants into the shape + bounds the chunk loops dispatch on.
+func bindInt(op CmpOp, tmin, tmax int64) bindFn {
+	return func(v1, v2 float64) KernelArgs {
+		shape, lo, hi := normalizeIntPred(op, v1, v2, tmin, tmax)
+		return KernelArgs{shape: shape, i1: lo, i2: hi}
 	}
 }
 
-// intKernelU16 is the u16 instantiation of the integer-domain dispatch.
-func intKernelU16(vals []uint16, pred ColumnPred) *Kernel {
-	shape, lo64, hi64 := normalizeIntPred(pred, 0, math.MaxUint16)
-	lo, hi := uint16(lo64), uint16(hi64)
-	switch shape {
-	case shapeAll:
-		return allKernel(len(vals))
-	case shapeNone:
-		return noneKernel()
-	case shapeEQ:
-		return ieqKernel(vals, lo)
-	case shapeNE:
-		return ineKernel(vals, lo)
-	case shapeLE:
-		return ileKernel(vals, hi)
-	case shapeGE:
-		return igeKernel(vals, lo)
-	default:
-		return irangeKernel[uint16, uint16](vals, lo, hi)
-	}
-}
-
-// intKernelI32 is the i32 instantiation of the integer-domain dispatch.
-func intKernelI32(vals []int32, pred ColumnPred) *Kernel {
-	shape, lo64, hi64 := normalizeIntPred(pred, math.MinInt32, math.MaxInt32)
-	lo, hi := int32(lo64), int32(hi64)
-	switch shape {
-	case shapeAll:
-		return allKernel(len(vals))
-	case shapeNone:
-		return noneKernel()
-	case shapeEQ:
-		return ieqKernel(vals, lo)
-	case shapeNE:
-		return ineKernel(vals, lo)
-	case shapeLE:
-		return ileKernel(vals, hi)
-	case shapeGE:
-		return igeKernel(vals, lo)
-	default:
-		return irangeKernel[int32, uint32](vals, lo, hi)
-	}
-}
-
-// allKernel accepts every row (n guards block bounds for callers that pass
-// the full column range).
-func allKernel(n int) *Kernel {
-	return &Kernel{
-		FilterBlock: func(lo, hi int, out []int) []int {
-			if hi > n {
-				hi = n
+// intChunks builds the shape-dispatching native-integer-domain chunk loops
+// over one column. The dispatch runs once per chunk (1024 rows), the
+// per-shape loops are written out longhand so each stays a direct
+// branch-free scan; the range shape tests lo <= v <= hi with one compare
+// via modular arithmetic (for lo <= hi, v ∈ [lo, hi] iff U(v-lo) <= U(hi-lo)
+// in the same-width unsigned domain U — two's-complement wraparound makes
+// this exact for signed T as well).
+func intChunks[T integer, U unsigned](vals []T) (chunkBlockFn, chunkSelFn) {
+	block := func(a KernelArgs, b0, b1 int, buf []int) int {
+		j := 0
+		switch a.shape {
+		case shapeNone:
+		case shapeAll:
+			for k := range vals[b0:b1] {
+				buf[j] = b0 + k
+				j++
 			}
-			for i := lo; i < hi; i++ {
-				out = append(out, i)
+		case shapeEQ:
+			c := T(a.i1)
+			for k, v := range vals[b0:b1] {
+				buf[j] = b0 + k
+				inc := 0
+				if v == c {
+					inc = 1
+				}
+				j += inc
 			}
-			return out
-		},
-		FilterSel: func(rows, out []int) []int {
-			return append(out, rows...)
-		},
+		case shapeNE:
+			c := T(a.i1)
+			for k, v := range vals[b0:b1] {
+				buf[j] = b0 + k
+				inc := 0
+				if v != c {
+					inc = 1
+				}
+				j += inc
+			}
+		case shapeLE:
+			c := T(a.i2)
+			for k, v := range vals[b0:b1] {
+				buf[j] = b0 + k
+				inc := 0
+				if v <= c {
+					inc = 1
+				}
+				j += inc
+			}
+		case shapeGE:
+			c := T(a.i1)
+			for k, v := range vals[b0:b1] {
+				buf[j] = b0 + k
+				inc := 0
+				if v >= c {
+					inc = 1
+				}
+				j += inc
+			}
+		default: // shapeRange
+			lo := T(a.i1)
+			span := U(T(a.i2)) - U(lo)
+			for k, v := range vals[b0:b1] {
+				buf[j] = b0 + k
+				inc := 0
+				if U(v)-U(lo) <= span {
+					inc = 1
+				}
+				j += inc
+			}
+		}
+		return j
 	}
+	sel := func(a KernelArgs, rows, buf []int) int {
+		j := 0
+		switch a.shape {
+		case shapeNone:
+		case shapeAll:
+			for _, r := range rows {
+				buf[j] = r
+				j++
+			}
+		case shapeEQ:
+			c := T(a.i1)
+			for _, r := range rows {
+				buf[j] = r
+				inc := 0
+				if vals[r] == c {
+					inc = 1
+				}
+				j += inc
+			}
+		case shapeNE:
+			c := T(a.i1)
+			for _, r := range rows {
+				buf[j] = r
+				inc := 0
+				if vals[r] != c {
+					inc = 1
+				}
+				j += inc
+			}
+		case shapeLE:
+			c := T(a.i2)
+			for _, r := range rows {
+				buf[j] = r
+				inc := 0
+				if vals[r] <= c {
+					inc = 1
+				}
+				j += inc
+			}
+		case shapeGE:
+			c := T(a.i1)
+			for _, r := range rows {
+				buf[j] = r
+				inc := 0
+				if vals[r] >= c {
+					inc = 1
+				}
+				j += inc
+			}
+		default: // shapeRange
+			lo := T(a.i1)
+			span := U(T(a.i2)) - U(lo)
+			for _, r := range rows {
+				buf[j] = r
+				inc := 0
+				if U(vals[r])-U(lo) <= span {
+					inc = 1
+				}
+				j += inc
+			}
+		}
+		return j
+	}
+	return block, sel
 }
 
-// noneKernel rejects every row.
+// intKernelU8 builds the native-integer-domain kernel over a u8 column. The
+// three intKernel* helpers are concrete clones of one instantiation: routing
+// them through a shared generic dispatcher would nest the chunk-loop
+// instantiations onto the slow gcshape dictionary path (see
+// CompileFilterKernel).
+func intKernelU8(vals []uint8, op CmpOp) *Kernel {
+	cb, cs := intChunks[uint8, uint8](vals)
+	return chunkKernel(len(vals), bindInt(op, 0, math.MaxUint8), cb, cs)
+}
+
+// intKernelU16 is the u16 instantiation of the integer-domain kernel.
+func intKernelU16(vals []uint16, op CmpOp) *Kernel {
+	cb, cs := intChunks[uint16, uint16](vals)
+	return chunkKernel(len(vals), bindInt(op, 0, math.MaxUint16), cb, cs)
+}
+
+// intKernelI32 is the i32 instantiation of the integer-domain kernel.
+func intKernelI32(vals []int32, op CmpOp) *Kernel {
+	cb, cs := intChunks[int32, uint32](vals)
+	return chunkKernel(len(vals), bindInt(op, math.MinInt32, math.MaxInt32), cb, cs)
+}
+
+// noneKernel rejects every row (unknown operators, as ColumnPred.Matches).
 func noneKernel() *Kernel {
 	return &Kernel{
-		FilterBlock: func(lo, hi int, out []int) []int { return out },
-		FilterSel:   func(rows, out []int) []int { return out },
+		Bind:        bindFloat,
+		FilterBlock: func(_ KernelArgs, _, _ int, out []int) []int { return out },
+		FilterSel:   func(_ KernelArgs, _, out []int) []int { return out },
 	}
 }
 
 // genericKernel is the interface-dispatch fallback for columns without a
-// typed fast path; it preserves ColumnPred.Matches semantics exactly.
-func genericKernel(col colstore.Column, pred ColumnPred) *Kernel {
+// typed fast path; it preserves ColumnPred.Matches semantics exactly by
+// rebuilding the predicate from the args record per call.
+func genericKernel(col colstore.Column, op CmpOp) *Kernel {
 	return &Kernel{
-		FilterBlock: func(lo, hi int, out []int) []int {
+		Bind: bindFloat,
+		FilterBlock: func(a KernelArgs, lo, hi int, out []int) []int {
+			pred := ColumnPred{Op: op, Value: a.f1, Value2: a.f2}
 			if n := col.Len(); hi > n {
 				hi = n
 			}
@@ -777,7 +791,8 @@ func genericKernel(col colstore.Column, pred ColumnPred) *Kernel {
 			}
 			return out
 		},
-		FilterSel: func(rows, out []int) []int {
+		FilterSel: func(a KernelArgs, rows, out []int) []int {
+			pred := ColumnPred{Op: op, Value: a.f1, Value2: a.f2}
 			for _, r := range rows {
 				if pred.Matches(col.Value(r)) {
 					out = append(out, r)

@@ -371,7 +371,7 @@ func TestNormalizeIntPred(t *testing.T) {
 		{ColumnPred{Op: CmpBetween, Value: -10, Value2: 1000}, shapeAll, 0, 0},
 	}
 	for _, c := range cases {
-		shape, lo, hi := normalizeIntPred(c.pred, 0, 255)
+		shape, lo, hi := normalizeIntPred(c.pred.Op, c.pred.Value, c.pred.Value2, 0, 255)
 		if shape != c.shape {
 			t.Errorf("%s over u8: shape %d, want %d", c.pred, shape, c.shape)
 			continue

@@ -1,9 +1,14 @@
 // Plan cache: compiled filter kernels memoised per table. The paper's
 // GIS-navigation workload is repeated queries — every pan/zoom step
 // re-issues near-identical bbox + thematic selections — so the steady-state
-// query path should compile nothing. A kernel is pure once built (it closes
-// over the column's backing array and the predicate constants), which makes
-// (column, op, constants) a complete cache key.
+// query path should compile nothing. A kernel is pure once built: it closes
+// over the column's backing array only, and reads its predicate constants
+// from the per-run KernelArgs record the caller binds (kernels.go). That
+// makes (column, op) a complete cache key: a pan/zoom sweep whose bbox (and
+// therefore whose x/y range constants) changes on every step still hits the
+// same two compiled range kernels, paying only the per-run bind — a few
+// float normalisations, never a compile. NaN constants need no cache bypass
+// anymore: they live in the args record, never in a map key.
 //
 // Invalidation contract: appends may grow or MOVE a column's backing array,
 // so a cached kernel bound to the old array would silently serve stale (or
@@ -15,28 +20,27 @@
 package engine
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 
 	"gisnav/internal/colstore"
 )
 
-// planKey identifies one compiled filter kernel: the predicate normal form
-// the executor produces.
+// planKey identifies one compiled filter kernel: the (column, operator)
+// pair. Constants are per-run bind state, not identity.
 type planKey struct {
 	column string
 	op     CmpOp
-	v1, v2 float64
 }
 
-// maxCachedPlans bounds the cache. A navigation session re-uses a handful
-// of predicate shapes; an ad-hoc workload that generates unbounded distinct
-// constants (e.g. a sweep) must not grow the map forever, so past the bound
-// the whole cache is dropped and rebuilt from the live working set.
+// maxCachedPlans bounds the cache. With constants out of the key the live
+// key space is small (columns × operators), but the bound stays as a
+// backstop: past it the whole cache is dropped and rebuilt from the live
+// working set.
 const maxCachedPlans = 512
 
-// planCache memoises CompileFilter results until the next invalidation.
+// planCache memoises CompileFilterKernel results until the next
+// invalidation.
 type planCache struct {
 	mu      sync.RWMutex
 	kernels map[planKey]*Kernel
@@ -82,33 +86,30 @@ func (c *planCache) stats() (entries int, hits, misses uint64) {
 	return entries, c.hits.Load(), c.misses.Load()
 }
 
-// compileFilterCached returns the compiled kernel for pred over col, served
-// from the table's plan cache when the same (column, op, constants) shape
-// was compiled since the last invalidation. NaN constants bypass the cache:
-// NaN keys never compare equal, so they could only insert unreachable
-// entries.
-func (pc *PointCloud) compileFilterCached(col colstore.Column, pred ColumnPred) *Kernel {
-	if math.IsNaN(pred.Value) || math.IsNaN(pred.Value2) {
-		return CompileFilter(col, pred)
-	}
-	key := planKey{column: pred.Column, op: pred.Op, v1: pred.Value, v2: pred.Value2}
+// compileFilterCached returns the compiled (unbound) kernel for (col, op),
+// served from the table's plan cache when the same pair was compiled since
+// the last invalidation. The caller binds the run's constants via
+// Kernel.Bind — constants (including NaN) never touch the cache key.
+func (pc *PointCloud) compileFilterCached(col colstore.Column, name string, op CmpOp) *Kernel {
+	key := planKey{column: name, op: op}
 	if k := pc.plans.lookup(key); k != nil {
 		return k
 	}
-	k := CompileFilter(col, pred)
+	k := CompileFilterKernel(col, op)
 	pc.plans.insert(key, k)
 	return k
 }
 
 // compileRangeCached is compileFilterCached for the inclusive range shape
 // the imprint filter path produces.
-func (pc *PointCloud) compileRangeCached(col colstore.Column, name string, lo, hi float64) *Kernel {
-	return pc.compileFilterCached(col, ColumnPred{Column: name, Op: CmpBetween, Value: lo, Value2: hi})
+func (pc *PointCloud) compileRangeCached(col colstore.Column, name string) *Kernel {
+	return pc.compileFilterCached(col, name, CmpBetween)
 }
 
 // PlanCacheStats reports the number of cached kernels and the hit/miss
 // counters since the last invalidation — the observability hook for the
-// repeated-query experiments and the invalidation tests.
+// repeated-query experiments and the invalidation tests. With the
+// (column, op) key, a pan/zoom sweep must keep Misses flat after warmup.
 type PlanCacheStats struct {
 	Entries int
 	Hits    uint64

@@ -73,9 +73,10 @@ func TestPlanCacheInvalidationOnAppend(t *testing.T) {
 	}
 }
 
-// TestPlanCacheNaNConstantsBypass ensures NaN predicate constants neither
-// poison the cache with unreachable entries nor break evaluation.
-func TestPlanCacheNaNConstantsBypass(t *testing.T) {
+// TestPlanCacheNaNConstants: with constants out of the cache key they are
+// per-run bind state, so NaN predicates cache and hit like any other —
+// the old NaN map-key bypass is gone — while still matching no rows.
+func TestPlanCacheNaNConstants(t *testing.T) {
 	pc, _ := buildCloud(t, 0.02)
 	pred := []ColumnPred{{Column: ColZ, Op: CmpGT, Value: math.NaN()}}
 	for i := 0; i < 3; i++ {
@@ -88,24 +89,32 @@ func TestPlanCacheNaNConstantsBypass(t *testing.T) {
 		}
 		RecycleRows(rows)
 	}
-	if st := pc.PlanCacheStats(); st.Entries != 0 {
-		t.Fatalf("NaN predicates inserted %d cache entries", st.Entries)
+	st := pc.PlanCacheStats()
+	if st.Entries != 1 || st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("NaN predicates should share one cached kernel: %+v", st)
 	}
 }
 
-// TestPlanCacheBound verifies an unbounded stream of distinct constants
-// cannot grow the cache past its limit.
-func TestPlanCacheBound(t *testing.T) {
+// TestPlanCacheConstantSweepSharesKernel is the pan/zoom contract at the
+// engine layer: a sweep of distinct constants over one (column, op) pair
+// compiles exactly one kernel — the key carries no constants, so every step
+// after the first is a cache hit and Misses stays flat.
+func TestPlanCacheConstantSweepSharesKernel(t *testing.T) {
 	pc, _ := buildCloud(t, 0.02)
-	for i := 0; i < maxCachedPlans+100; i++ {
+	const sweep = maxCachedPlans + 100
+	for i := 0; i < sweep; i++ {
 		rows, err := pc.FilterRows(nil, []ColumnPred{{Column: ColZ, Op: CmpGT, Value: float64(i) * 1e6}}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		RecycleRows(rows)
 	}
-	if st := pc.PlanCacheStats(); st.Entries > maxCachedPlans {
-		t.Fatalf("cache grew to %d entries, bound is %d", st.Entries, maxCachedPlans)
+	st := pc.PlanCacheStats()
+	if st.Entries != 1 || st.Misses != 1 {
+		t.Fatalf("constant sweep should share one kernel: %+v", st)
+	}
+	if st.Hits != sweep-1 {
+		t.Fatalf("constant sweep hits = %d, want %d: %+v", st.Hits, sweep-1, st)
 	}
 }
 

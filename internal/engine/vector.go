@@ -26,6 +26,13 @@ type VectorTable struct {
 
 	mu    sync.Mutex
 	index *rtree.Tree
+	// classPost is the lazily built per-class posting list: for each
+	// dictionary code, the ascending row ids carrying it. Built on the first
+	// SelectClassInto (one O(n) scan), it turns every later class selection
+	// into an O(|result|) copy instead of a full code-column scan. Dropped
+	// together with the R-tree on Append (the epoch bump), like the point
+	// cloud's imprints.
+	classPost map[uint32][]int
 
 	// epoch counts appends, mirroring PointCloud.Epoch: prepared SQL plans
 	// capture it (their star expansion and conjunct classification read the
@@ -71,7 +78,8 @@ func (vt *VectorTable) Append(id int64, class, name string, g geom.Geometry, att
 	}
 	vt.epoch.Add(1) // bump first; see PointCloud.InvalidateIndexes
 	vt.mu.Lock()
-	vt.index = nil // appended features invalidate the spatial index
+	vt.index = nil     // appended features invalidate the spatial index
+	vt.classPost = nil // and the class posting lists
 	vt.mu.Unlock()
 }
 
@@ -143,22 +151,43 @@ func (vt *VectorTable) SelectClass(class string, ex *Explain) []int {
 
 // SelectClassInto is SelectClass appending into rows — callers on the
 // repeated-query path pass a pooled buffer (AcquireRows) so the class scan
-// allocates nothing steady-state. ex may be nil to skip the trace (and its
-// formatting allocations).
+// allocates nothing steady-state. The first call builds the per-class
+// posting lists (one scan over the code column); every later call copies
+// the class's posting list, O(|result|) instead of O(n). ex may be nil to
+// skip the trace (and its formatting allocations).
 func (vt *VectorTable) SelectClassInto(class string, rows []int, ex *Explain) []int {
 	start := time.Now()
 	in := len(rows)
 	if code, ok := vt.classes.Code(class); ok {
-		for i, c := range vt.classes.Codes() {
-			if c == code {
-				rows = append(rows, i)
-			}
-		}
+		rows = append(rows, vt.ensurePostings()[code]...)
 	}
 	if ex != nil {
-		ex.Add("filter.class", fmt.Sprintf("class = %q", class), vt.Len(), len(rows)-in, time.Since(start))
+		ex.Add("filter.class", fmt.Sprintf("class = %q (postings)", class), vt.Len(), len(rows)-in, time.Since(start))
 	}
 	return rows
+}
+
+// ensurePostings builds the per-class posting lists if absent, returning
+// them. The returned map is immutable once built (Append drops and rebuilds
+// rather than mutating), so callers may read it without holding vt.mu.
+func (vt *VectorTable) ensurePostings() map[uint32][]int {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	if vt.classPost == nil {
+		post := make(map[uint32][]int, vt.classes.DictSize())
+		for i, c := range vt.classes.Codes() {
+			post[c] = append(post[c], i)
+		}
+		vt.classPost = post
+	}
+	return vt.classPost
+}
+
+// HasClassPostings reports whether the posting lists are currently built.
+func (vt *VectorTable) HasClassPostings() bool {
+	vt.mu.Lock()
+	defer vt.mu.Unlock()
+	return vt.classPost != nil
 }
 
 // SelectIntersects returns the rows whose geometry intersects g. The STR

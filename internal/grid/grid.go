@@ -181,6 +181,15 @@ func RefineInto(xs, ys []float64, cand []colstore.Range, region Region, opts Opt
 	if env.IsEmpty() || st.CandidateRows == 0 {
 		return matches, st
 	}
+	// An envelope with NaN or ±Inf bounds cannot be gridded: the cell-width
+	// arithmetic degenerates to NaN and the cell index would go out of
+	// range. Such envelopes are reachable — constant folding can overflow
+	// to ±Inf, and parameterised statements can re-bind a viewport constant
+	// to a non-finite value — so fall back to the exact per-point test,
+	// which agrees with the row-at-a-time evaluator bit for bit.
+	if !envFinite(env) {
+		return RefineExhaustiveInto(xs, ys, cand, region, matches)
+	}
 
 	nx, ny := gridDims(st.CandidateRows, env, opts)
 	st.GridCellsX, st.GridCellsY = nx, ny
@@ -281,6 +290,17 @@ func RefineExhaustiveInto(xs, ys []float64, cand []colstore.Range, region Region
 	}
 	st.Matches = len(matches) - base
 	return matches, st
+}
+
+// envFinite reports whether every envelope bound is a finite number — the
+// precondition of the grid's cell arithmetic.
+func envFinite(env geom.Envelope) bool {
+	for _, v := range [4]float64{env.MinX, env.MinY, env.MaxX, env.MaxY} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // gridDims sizes the grid to hold roughly TargetPointsPerCell candidates per

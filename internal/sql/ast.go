@@ -24,6 +24,19 @@ type StringLit struct {
 
 func (e StringLit) exprString() string { return "'" + e.Value + "'" }
 
+// ParamRef is a parameter slot produced by auto-parameterisation: the
+// statement's WHERE/LIMIT literals are normalised out of the text into an
+// ordered literal vector, and the AST references them by slot so one parsed
+// statement (and its compiled plan skeleton) serves every literal vector of
+// the same shape. Kind is the extracted literal's type — part of the shape,
+// because conjunct classification dispatches on it.
+type ParamRef struct {
+	Index int
+	Kind  ValueKind
+}
+
+func (e ParamRef) exprString() string { return fmt.Sprintf("$%d", e.Index+1) }
+
 // BoolLit is TRUE or FALSE.
 type BoolLit struct {
 	Value bool
@@ -114,7 +127,10 @@ type SelectStmt struct {
 	Where   Expr // nil when absent
 	GroupBy []Expr
 	Order   *OrderBy
-	Limit   int // -1 when absent
+	Limit   int // -1 when absent or parameterised
+	// LimitParam is the parameter slot holding the LIMIT count when the
+	// statement was auto-parameterised; -1 when LIMIT is absent or literal.
+	LimitParam int
 }
 
 // String reassembles a canonical form of the statement (diagnostics only).
@@ -158,7 +174,9 @@ func (s *SelectStmt) String() string {
 			sb.WriteString(" DESC")
 		}
 	}
-	if s.Limit >= 0 {
+	if s.LimitParam >= 0 {
+		fmt.Fprintf(&sb, " LIMIT $%d", s.LimitParam+1)
+	} else if s.Limit >= 0 {
 		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
 	}
 	return sb.String()

@@ -24,13 +24,52 @@
 //
 // The interpreter remains the fallback for truly dynamic shapes: string or
 // geometry operands, function calls other than abs(), vector-table columns.
+//
+// Constant-slot contract (the SQL-layer mirror of the engine kernels'
+// KernelArgs): a compiled filter does not bake ParamRef constants into its
+// closures — it reads them from the plan's paramStore, so a shape-cache
+// rebind updates the store in place and the compiled kernel serves the new
+// literal vector without recompiling. Literal AST nodes (NumberLit) still
+// compile to embedded constants: they exist only in plans that never rebind.
+// One deliberate exception: a ParamRef is never "provably non-zero", so a
+// parameterised division/modulo denominator always takes the runtime-checked
+// arm — a rebind could make it zero.
 package sql
 
 import (
 	"fmt"
+	"math"
 
 	"gisnav/internal/colstore"
 )
+
+// paramStore is the mutable constant-slot array a plan's compiled filters
+// read their ParamRef constants from. Rebinds overwrite nums in place under
+// the statement lock; the slice header never changes, so the compiled
+// closures (which capture the store pointer) always see the current vector.
+// Non-numeric parameters mirror as NaN — a compiled filter never reads them
+// (compileNum rejects non-numeric ParamRefs at compile time).
+type paramStore struct {
+	nums []float64
+}
+
+// newParamStore mirrors params into a fresh slot array.
+func newParamStore(params []Value) *paramStore {
+	s := &paramStore{nums: make([]float64, len(params))}
+	s.refresh(params)
+	return s
+}
+
+// refresh re-mirrors params into the existing slots (rebind path).
+func (s *paramStore) refresh(params []Value) {
+	for i, v := range params {
+		if v.Kind == KindNum {
+			s.nums[i] = v.Num
+		} else {
+			s.nums[i] = math.NaN()
+		}
+	}
+}
 
 // exprChunk is the block size of the vectorized expression loops — the same
 // cache-resident block the engine's scan kernels use.
@@ -75,8 +114,8 @@ func (f *compiledFilter) apply(rows []int) ([]int, error) {
 
 // compilePCFilter compiles conjunct e into a vector kernel over the bound
 // point cloud, reporting ok=false for shapes the interpreter must keep.
-func compilePCFilter(b *binding, e Expr) (*compiledFilter, bool) {
-	pred, _, ok := compileChunkPred(b, e)
+func compilePCFilter(b *binding, slots *paramStore, e Expr) (*compiledFilter, bool) {
+	pred, _, ok := compileChunkPred(b, slots, e)
 	if !ok {
 		return nil, false
 	}
@@ -86,20 +125,20 @@ func compilePCFilter(b *binding, e Expr) (*compiledFilter, bool) {
 // compileChunkPred compiles a boolean expression; mayErr reports whether
 // evaluation can fail (division or modulo whose denominator is not a
 // provably non-zero constant), which gates compilation under AND/OR.
-func compileChunkPred(b *binding, e Expr) (pred chunkPred, mayErr bool, ok bool) {
+func compileChunkPred(b *binding, slots *paramStore, e Expr) (pred chunkPred, mayErr bool, ok bool) {
 	switch t := e.(type) {
 	case BinaryExpr:
 		switch t.Op {
 		case "=", "<>", "<", "<=", ">", ">=":
-			l, lerr, lok := compileNum(b, t.L)
-			r, rerr, rok := compileNum(b, t.R)
+			l, lerr, lok := compileNum(b, slots, t.L)
+			r, rerr, rok := compileNum(b, slots, t.R)
 			if !lok || !rok {
 				return nil, false, false
 			}
 			return cmpChunkPred(l, r, t.Op), lerr || rerr, true
 		case "AND", "OR":
-			l, lerr, lok := compileChunkPred(b, t.L)
-			r, rerr, rok := compileChunkPred(b, t.R)
+			l, lerr, lok := compileChunkPred(b, slots, t.L)
+			r, rerr, rok := compileChunkPred(b, slots, t.R)
 			// Short-circuiting may skip a fallible operand row-by-row; the
 			// vector kernel cannot, so such conjuncts stay interpreted.
 			if !lok || !rok || lerr || rerr {
@@ -128,12 +167,12 @@ func compileChunkPred(b *binding, e Expr) (pred chunkPred, mayErr bool, ok bool)
 			}, false, true
 		default:
 			// Arithmetic result used as a bare boolean conjunct.
-			return truthyChunkPred(b, e)
+			return truthyChunkPred(b, slots, e)
 		}
 	case BetweenExpr:
-		s, serr, sok := compileNum(b, t.Subject)
-		lo, loerr, look := compileNum(b, t.Lo)
-		hi, hierr, hiok := compileNum(b, t.Hi)
+		s, serr, sok := compileNum(b, slots, t.Subject)
+		lo, loerr, look := compileNum(b, slots, t.Lo)
+		hi, hierr, hiok := compileNum(b, slots, t.Hi)
 		if !sok || !look || !hiok {
 			return nil, false, false
 		}
@@ -159,7 +198,7 @@ func compileChunkPred(b *binding, e Expr) (pred chunkPred, mayErr bool, ok bool)
 			return nil
 		}, serr || loerr || hierr, true
 	case NotExpr:
-		inner, ierr, iok := compileChunkPred(b, t.E)
+		inner, ierr, iok := compileChunkPred(b, slots, t.E)
 		if !iok {
 			return nil, false, false
 		}
@@ -181,14 +220,14 @@ func compileChunkPred(b *binding, e Expr) (pred chunkPred, mayErr bool, ok bool)
 			return nil
 		}, false, true
 	default:
-		return truthyChunkPred(b, e)
+		return truthyChunkPred(b, slots, e)
 	}
 }
 
 // truthyChunkPred compiles a numeric expression used as a predicate: the
 // interpreter keeps rows where the value is non-zero (NaN included).
-func truthyChunkPred(b *binding, e Expr) (chunkPred, bool, bool) {
-	v, verr, ok := compileNum(b, e)
+func truthyChunkPred(b *binding, slots *paramStore, e Expr) (chunkPred, bool, bool) {
+	v, verr, ok := compileNum(b, slots, e)
 	if !ok {
 		return nil, false, false
 	}
@@ -252,11 +291,26 @@ func cmpChunkPred(l, r numEval, op string) chunkPred {
 
 // compileNum compiles a numeric expression; mayErr reports whether
 // evaluation can fail at runtime (see compileChunkPred).
-func compileNum(b *binding, e Expr) (ev numEval, mayErr bool, ok bool) {
+func compileNum(b *binding, slots *paramStore, e Expr) (ev numEval, mayErr bool, ok bool) {
 	switch t := e.(type) {
 	case NumberLit:
 		c := t.Value
 		return func(rows []int, dst []float64) error {
+			for i := range dst[:len(rows)] {
+				dst[i] = c
+			}
+			return nil
+		}, false, true
+	case ParamRef:
+		// Constant-slot read: the value is fetched from the plan's store per
+		// chunk, so a rebound literal vector flows into the compiled kernel
+		// without recompilation.
+		if t.Kind != KindNum || slots == nil || t.Index < 0 || t.Index >= len(slots.nums) {
+			return nil, false, false
+		}
+		idx := t.Index
+		return func(rows []int, dst []float64) error {
+			c := slots.nums[idx]
 			for i := range dst[:len(rows)] {
 				dst[i] = c
 			}
@@ -274,7 +328,7 @@ func compileNum(b *binding, e Expr) (ev numEval, mayErr bool, ok bool) {
 		if t.Name != "abs" || len(t.Args) != 1 {
 			return nil, false, false
 		}
-		inner, ierr, iok := compileNum(b, t.Args[0])
+		inner, ierr, iok := compileNum(b, slots, t.Args[0])
 		if !iok {
 			return nil, false, false
 		}
@@ -297,8 +351,8 @@ func compileNum(b *binding, e Expr) (ev numEval, mayErr bool, ok bool) {
 		default:
 			return nil, false, false
 		}
-		l, lerr, lok := compileNum(b, t.L)
-		r, rerr, rok := compileNum(b, t.R)
+		l, lerr, lok := compileNum(b, slots, t.L)
+		r, rerr, rok := compileNum(b, slots, t.R)
 		if !lok || !rok {
 			return nil, false, false
 		}
@@ -387,7 +441,9 @@ func compileNum(b *binding, e Expr) (ev numEval, mayErr bool, ok bool) {
 }
 
 // constNonZero reports whether e is a numeric literal other than zero —
-// the denominators whose division can be compiled error-free.
+// the denominators whose division can be compiled error-free. ParamRef
+// denominators deliberately do NOT qualify: a shape-cache rebind can bind
+// them to zero, so they keep the runtime-checked arm.
 func constNonZero(e Expr) (float64, bool) {
 	n, ok := e.(NumberLit)
 	if !ok || n.Value == 0 {

@@ -41,7 +41,7 @@ func interpretFilter(b *binding, e Expr, rows []int) ([]int, error) {
 // runCompiled compiles e and applies it to a copy of rows.
 func runCompiled(t *testing.T, b *binding, e Expr, rows []int) ([]int, error, bool) {
 	t.Helper()
-	cf, ok := compilePCFilter(b, e)
+	cf, ok := compilePCFilter(b, nil, e)
 	if !ok {
 		return nil, nil, false
 	}

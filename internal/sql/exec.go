@@ -1,11 +1,14 @@
 // The SQL front door. The heavy lifting lives in the prepare/execute
 // split: plan.go builds an immutable queryPlan per statement, run.go
 // executes it. This file holds the Executor itself and its bounded
-// statement cache, which memoises PreparedQuery objects by exact statement
-// text so the interactive workload's repeated statements skip parsing,
-// binding, conjunct classification and kernel compilation entirely; table
-// epochs (captured in the plan, revalidated per run) keep cached plans
-// from ever serving state bound to moved arrays.
+// statement cache, which memoises PreparedQuery objects by statement SHAPE —
+// the auto-parameterised text plus literal type signature (params.go) — so
+// the interactive workload's repeated statements skip parsing, binding,
+// conjunct classification and kernel compilation even when every step
+// changes the literal constants (the pan/zoom sweep). A shape hit re-binds
+// the cached plan skeleton to the incoming literal vector; a miss prepares
+// and inserts. Table epochs (captured in the plan, revalidated per run)
+// keep cached plans from ever serving state bound to moved arrays.
 package sql
 
 import (
@@ -33,24 +36,48 @@ type Result struct {
 	Explain *engine.Explain
 }
 
-// Query executes one SELECT statement, serving the plan from the
-// executor's statement cache when the exact same text ran before. Cached
-// statements skip parse/bind/classify/compile; epoch revalidation inside
-// Run guarantees an append between two calls is observed by the second.
+// Query executes one SELECT statement through the two-level lookup: the
+// statement text is normalised into (shape, literal vector); a shape hit
+// re-binds the cached plan skeleton to the new literals and runs (no parse
+// beyond the lexer, no classification, no kernel compile — the EXPLAIN
+// trace's "plan" step says "rebound"); a miss parses, plans, inserts and
+// runs ("planned"). Epoch revalidation inside run guarantees an append
+// between two calls is observed by the second.
 func (e *Executor) Query(src string) (*Result, error) {
-	if pq := e.stmts.lookup(src); pq != nil {
-		return pq.RunTraced()
-	}
-	pq, err := e.Prepare(src)
+	return e.query(src, &engine.Explain{})
+}
+
+// QueryUntraced is Query without the per-operator EXPLAIN trace: the same
+// two-level shape lookup and rebind fast path, but the run allocates
+// nothing for tracing — the entry point for latency-critical callers (the
+// pan/zoom benchmark measures this surface against the prepared Run path).
+func (e *Executor) QueryUntraced(src string) (*Result, error) {
+	return e.query(src, nil)
+}
+
+// query is the shared two-level lookup behind Query and QueryUntraced.
+func (e *Executor) query(src string, ex *engine.Explain) (*Result, error) {
+	key, toks, params, err := parameterize(src)
 	if err != nil {
 		return nil, err
 	}
-	e.stmts.insert(src, pq)
-	return pq.RunTraced()
+	if pq := e.stmts.lookup(key); pq != nil {
+		return pq.run(ex, params, originCached)
+	}
+	stmt, err := parseTokens(toks)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := e.prepareBound(stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	e.stmts.insert(key, pq)
+	return pq.run(ex, params, originPlanned)
 }
 
 // Exec plans and executes a parsed statement, bypassing the statement
-// cache (there is no reliable text key for an externally built AST).
+// cache (there is no reliable shape key for an externally built AST).
 func (e *Executor) Exec(stmt *SelectStmt) (*Result, error) {
 	pq, err := e.PrepareStmt(stmt)
 	if err != nil {
@@ -61,27 +88,30 @@ func (e *Executor) Exec(stmt *SelectStmt) (*Result, error) {
 
 // --- statement cache --------------------------------------------------------
 
-// maxCachedStmts bounds the statement cache. A navigation session re-uses
-// a handful of statement texts; an ad-hoc workload generating unbounded
-// distinct texts must not grow the map forever, so past the bound the
-// whole cache is dropped and rebuilt from the live working set (the same
-// policy as the engine's kernel plan cache).
+// maxCachedStmts bounds the statement cache. With literals normalised out
+// of the key, a navigation session needs a handful of SHAPES no matter how
+// many distinct texts it issues; an ad-hoc workload generating unbounded
+// distinct shapes must still not grow the map forever, so past the bound
+// the whole cache is dropped and rebuilt from the live working set (the
+// same policy as the engine's kernel plan cache).
 const maxCachedStmts = 256
 
-// stmtCache memoises PreparedQuery objects by exact statement text.
+// stmtCache memoises PreparedQuery objects by statement shape.
 type stmtCache struct {
 	mu    sync.Mutex
 	stmts map[string]*PreparedQuery
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
+	shapeHits     atomic.Uint64
+	rebinds       atomic.Uint64
 	invalidations atomic.Uint64
 }
 
-// lookup returns the cached statement for src, counting hit/miss.
-func (c *stmtCache) lookup(src string) *PreparedQuery {
+// lookup returns the cached statement for the shape key, counting hit/miss.
+func (c *stmtCache) lookup(key string) *PreparedQuery {
 	c.mu.Lock()
-	pq := c.stmts[src]
+	pq := c.stmts[key]
 	c.mu.Unlock()
 	if pq != nil {
 		c.hits.Add(1)
@@ -91,18 +121,24 @@ func (c *stmtCache) lookup(src string) *PreparedQuery {
 	return pq
 }
 
-// insert stores pq under src, resetting the cache when it outgrew its
-// bound. Parse and plan errors are never cached.
-func (c *stmtCache) insert(src string, pq *PreparedQuery) {
+// insert stores pq under the shape key, resetting the cache when it outgrew
+// its bound. Parse and plan errors are never cached.
+func (c *stmtCache) insert(key string, pq *PreparedQuery) {
 	c.mu.Lock()
 	if c.stmts == nil || len(c.stmts) >= maxCachedStmts {
 		c.stmts = make(map[string]*PreparedQuery, 16)
 	}
-	c.stmts[src] = pq
+	c.stmts[key] = pq
 	c.mu.Unlock()
 }
 
 // StmtCacheStats reports the statement cache's effectiveness counters.
+//
+// Hits counts shape-cache hits of any kind; ShapeHits is the subset whose
+// literal vector differed from the one currently bound — exactly the
+// queries the PR 3 exact-text cache would have missed (every pan/zoom step
+// lands here). Rebinds counts successful skeleton re-binds; ShapeHits
+// minus Rebinds is the (rare) classification-divergence replans.
 // Invalidations counts epoch-forced replans of this executor's prepared
 // statements (cached or standalone): each one is an append observed by the
 // SQL layer, the signal the invalidation tests assert on.
@@ -110,6 +146,8 @@ type StmtCacheStats struct {
 	Entries       int
 	Hits          uint64
 	Misses        uint64
+	ShapeHits     uint64
+	Rebinds       uint64
 	Invalidations uint64
 }
 
@@ -123,6 +161,8 @@ func (e *Executor) StmtCacheStats() StmtCacheStats {
 		Entries:       entries,
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
+		ShapeHits:     c.shapeHits.Load(),
+		Rebinds:       c.rebinds.Load(),
 		Invalidations: c.invalidations.Load(),
 	}
 }

@@ -75,8 +75,11 @@ type group struct {
 	accs    []aggAcc
 }
 
-// outputGrouped materialises a GROUP BY query over the selected rows.
-func outputGrouped(stmt *SelectStmt, b *binding, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
+// outputGrouped materialises a GROUP BY query over the selected rows. p
+// supplies the binding, the bound literal vector (WHERE parameters can leak
+// into aggregate arguments through aliases) and the bound LIMIT.
+func outputGrouped(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
+	b := p.b
 	start := time.Now()
 	// Resolve select-item aliases used as GROUP BY keys to their
 	// underlying expressions (e.g. GROUP BY cls for "classification AS cls").
@@ -127,7 +130,7 @@ func outputGrouped(stmt *SelectStmt, b *binding, rows []int, isVector bool, ex *
 
 	// Accumulate.
 	groups := map[string]*group{}
-	ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
+	ctx := &evalCtx{b: b, ps: p.params, pcRow: -1, vtRow: -1}
 	var keyBuf strings.Builder
 	for _, r := range rows {
 		setRow(ctx, isVector, r)
@@ -219,8 +222,8 @@ func outputGrouped(stmt *SelectStmt, b *binding, rows []int, isVector bool, ex *
 			return valueLess(res.Rows[a][col], res.Rows[c][col])
 		})
 	}
-	if stmt.Limit >= 0 && len(res.Rows) > stmt.Limit {
-		res.Rows = res.Rows[:stmt.Limit]
+	if p.limit >= 0 && len(res.Rows) > p.limit {
+		res.Rows = res.Rows[:p.limit]
 	}
 	return res, nil
 }

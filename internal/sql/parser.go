@@ -18,6 +18,13 @@ func Parse(src string) (*SelectStmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseTokens(toks)
+}
+
+// parseTokens parses an already-lexed token stream — the entry point the
+// auto-parameterisation pass uses after normalising literals into tokParam
+// tokens (params.go).
+func parseTokens(toks []token) (*SelectStmt, error) {
 	p := &parser{toks: toks}
 	stmt, err := p.selectStmt()
 	if err != nil {
@@ -72,7 +79,7 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	stmt := &SelectStmt{Limit: -1}
+	stmt := &SelectStmt{Limit: -1, LimitParam: -1}
 	for {
 		item, err := p.selectItem()
 		if err != nil {
@@ -135,15 +142,22 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 		stmt.Order = ob
 	}
 	if p.acceptKeyword("LIMIT") {
-		if p.cur().kind != tokNumber {
+		switch {
+		case p.cur().kind == tokNumber:
+			n, err := strconv.Atoi(p.cur().text)
+			if err != nil || n < 0 {
+				return nil, p.errf("bad LIMIT %q", p.cur().text)
+			}
+			p.pos++
+			stmt.Limit = n
+		case p.cur().kind == tokParam && p.cur().vkind == KindNum:
+			// Parameterised LIMIT: the count is validated at bind time
+			// (resolveLimit), where the literal vector is in hand.
+			stmt.LimitParam = p.cur().idx
+			p.pos++
+		default:
 			return nil, p.errf("expected LIMIT count")
 		}
-		n, err := strconv.Atoi(p.cur().text)
-		if err != nil || n < 0 {
-			return nil, p.errf("bad LIMIT %q", p.cur().text)
-		}
-		p.pos++
-		stmt.Limit = n
 	}
 	return stmt, nil
 }
@@ -338,6 +352,9 @@ func (p *parser) primary() (Expr, error) {
 	case tokString:
 		p.pos++
 		return StringLit{Value: t.text}, nil
+	case tokParam:
+		p.pos++
+		return ParamRef{Index: t.idx, Kind: t.vkind}, nil
 	case tokKeyword:
 		switch t.text {
 		case "TRUE":

@@ -20,10 +20,23 @@
 // VectorTable.Append), so a cached statement can never serve a plan bound
 // to moved arrays. Re-registering a different table under the same catalog
 // name is NOT covered — plans bind table pointers, not names.
+//
+// Parameterisation contract (PR 4): plans are SKELETONS over a bound
+// literal vector. Everything literal-derived — the spatial region, the
+// ColumnPred constants, the compiled generic kernels' constant slots, the
+// vt class/geometry constants, the join distance, LIMIT — can be re-bound
+// to a new vector of the same shape (rebind) without re-planning: no parse,
+// no classification, no kernel compile. Rebinding re-derives each
+// value-dependent ingredient from its source conjunct; if a new literal
+// vector would change a conjunct's CLASSIFICATION (e.g. a constant
+// sub-expression that now errors), rebind reports failure and the caller
+// replans from the AST — correctness never depends on the literals staying
+// classification-equivalent. Epoch mismatches still replan, never rebind.
 package sql
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -100,22 +113,36 @@ type queryPlan struct {
 	pcEpoch uint64
 	vtEpoch uint64
 
-	// Point-cloud phase (planPointCloud and the join tail).
-	region  grid.Region
-	preds   []engine.ColumnPred
-	generic []genericStep
+	// The bound literal vector and its numeric mirror for compiled kernels.
+	// Both are rewritten IN PLACE by rebind (under the statement lock):
+	// interpreter steps read params through evalCtx, compiled generic
+	// kernels read slots through their captured store pointer.
+	params []Value
+	slots  *paramStore
+
+	// Point-cloud phase (planPointCloud and the join tail). regionConj and
+	// predConjs are the source conjuncts of the literal-derived region and
+	// predicate constants — rebind re-derives from them.
+	region     grid.Region
+	regionConj Expr
+	preds      []engine.ColumnPred
+	predConjs  []Expr
+	generic    []genericStep
 
 	// Vector phase (planVector and the join head).
 	vtSteps []vtStep
 
-	// Join operator.
+	// Join operator (joinConj is its source predicate, kept for rebind).
 	join     joinKind
 	joinDist float64
+	joinConj Expr
 
-	// Output phase.
+	// Output phase. limit is the bound LIMIT (-1 when absent), resolved
+	// from the literal vector when the statement parameterised it.
 	out   outMode
 	cols  []string
 	exprs []Expr
+	limit int
 }
 
 // PreparedQuery is a statement prepared for repeated execution: parse,
@@ -131,36 +158,61 @@ type PreparedQuery struct {
 	ex   *Executor
 	stmt *SelectStmt
 
+	// init is the literal vector captured at Prepare time; immutable. The
+	// plan's bound vector may advance past it through shape-cache rebinds
+	// (Executor.Query); Run/RunTraced always re-present init, which is a
+	// no-op for a standalone prepared statement.
+	init []Value
+
 	mu   sync.Mutex
 	plan *queryPlan
 }
 
-// Prepare parses and plans src for repeated execution.
+// Prepare parses and plans src for repeated execution. The statement is
+// auto-parameterised first, so the resulting plan is a rebindable skeleton
+// with src's literals bound.
 func (e *Executor) Prepare(src string) (*PreparedQuery, error) {
-	stmt, err := Parse(src)
+	_, toks, params, err := parameterize(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.PrepareStmt(stmt)
+	stmt, err := parseTokens(toks)
+	if err != nil {
+		return nil, err
+	}
+	return e.prepareBound(stmt, params)
 }
 
 // PrepareStmt plans an already-parsed statement. The statement must not be
 // mutated afterwards; the prepared query keeps it for epoch replans.
+// Externally built ASTs carry their constants as literal nodes, so they
+// plan with an empty literal vector.
 func (e *Executor) PrepareStmt(stmt *SelectStmt) (*PreparedQuery, error) {
-	plan, err := e.buildPlan(stmt)
+	return e.prepareBound(stmt, nil)
+}
+
+// prepareBound plans stmt against the literal vector params.
+func (e *Executor) prepareBound(stmt *SelectStmt, params []Value) (*PreparedQuery, error) {
+	plan, err := e.buildPlan(stmt, params)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{ex: e, stmt: stmt, plan: plan}, nil
+	return &PreparedQuery{ex: e, stmt: stmt, init: append([]Value(nil), params...), plan: plan}, nil
 }
 
-// buildPlan runs one full planning pass over stmt.
-func (e *Executor) buildPlan(stmt *SelectStmt) (*queryPlan, error) {
+// buildPlan runs one full planning pass over stmt with the literal vector
+// params bound.
+func (e *Executor) buildPlan(stmt *SelectStmt, params []Value) (*queryPlan, error) {
 	b, err := e.bind(stmt.From)
 	if err != nil {
 		return nil, err
 	}
-	p := &queryPlan{b: b}
+	p := &queryPlan{
+		b:      b,
+		params: append([]Value(nil), params...),
+		slots:  newParamStore(params),
+		limit:  -1,
+	}
 	// Capture epochs before reading any table state: if an append slips in
 	// between the epoch read and kernel compilation, the recorded epoch is
 	// already stale and the next Run replans — the safe direction.
@@ -192,7 +244,114 @@ func (e *Executor) buildPlan(stmt *SelectStmt) (*queryPlan, error) {
 	if err := p.planOutput(stmt); err != nil {
 		return nil, err
 	}
+	limit, err := resolveLimit(stmt, p.params)
+	if err != nil {
+		return nil, err
+	}
+	p.limit = limit
 	return p, nil
+}
+
+// resolveLimit returns the statement's LIMIT bound against the literal
+// vector (-1 when absent). A parameterised count is validated here — the
+// parser accepted a typed placeholder, so the value check the literal form
+// gets at parse time happens at bind time instead.
+func resolveLimit(stmt *SelectStmt, params []Value) (int, error) {
+	if stmt.LimitParam < 0 {
+		return stmt.Limit, nil
+	}
+	if stmt.LimitParam >= len(params) {
+		return 0, fmt.Errorf("sql: unbound LIMIT parameter $%d", stmt.LimitParam+1)
+	}
+	v := params[stmt.LimitParam]
+	if v.Kind != KindNum || v.Num < 0 || v.Num != math.Trunc(v.Num) || v.Num > math.MaxInt32 {
+		return 0, fmt.Errorf("sql: bad LIMIT %q", v.String())
+	}
+	return int(v.Num), nil
+}
+
+// rebind re-binds the plan skeleton to a new literal vector of the same
+// shape: constants are re-derived from their source conjuncts, compiled
+// kernels see the refreshed slot store, interpreter steps see the refreshed
+// params — no parse, no classification, no kernel compile. It reports false
+// when the new literals change a conjunct's classification (a constant
+// sub-expression that stops evaluating, a region that stops being constant);
+// the caller then replans from the AST. Must run under the statement lock.
+//
+// Stage-then-commit: every re-derivation runs against the incoming vector
+// FIRST, and plan state is only written once all of them succeeded. A
+// rebind that fails therefore leaves the plan exactly as it was — still
+// consistently bound to its previous vector — which matters when the
+// caller's fallback replan also errors: the cached plan must not be left
+// half-mutated with the new params but the old constants.
+func (p *queryPlan) rebind(stmt *SelectStmt, params []Value) bool {
+	if len(params) != len(p.params) {
+		return false
+	}
+	limit, err := resolveLimit(stmt, params)
+	if err != nil {
+		return false
+	}
+	var region grid.Region
+	if p.regionConj != nil {
+		var ok bool
+		region, ok = pcRegionFromConjunct(p.b, params, p.regionConj)
+		if !ok {
+			return false
+		}
+	}
+	preds := make([]engine.ColumnPred, len(p.predConjs))
+	for i, conj := range p.predConjs {
+		pred, ok := pcPredFromConjunct(p.b, params, conj)
+		if !ok || pred.Column != p.preds[i].Column || pred.Op != p.preds[i].Op {
+			return false
+		}
+		preds[i] = pred
+	}
+	classes := make([]string, len(p.vtSteps))
+	geoms := make([]geom.Geometry, len(p.vtSteps))
+	for i := range p.vtSteps {
+		st := &p.vtSteps[i]
+		switch st.kind {
+		case vtStepClass:
+			cls, ok := vtClassEquality(p.b, params, st.expr)
+			if !ok {
+				return false
+			}
+			classes[i] = cls
+		case vtStepIntersects:
+			g, ok := vtIntersectsConst(p.b, params, st.expr)
+			if !ok {
+				return false
+			}
+			geoms[i] = g
+		}
+	}
+	join, joinDist := p.join, p.joinDist
+	if p.joinConj != nil {
+		var err error
+		join, joinDist, err = classifyJoinPredicate(p.b, params, p.joinConj)
+		if err != nil {
+			return false
+		}
+	}
+
+	// Commit: everything staged successfully; bind the new vector.
+	copy(p.params, params)
+	p.slots.refresh(params)
+	p.limit = limit
+	p.region = region
+	copy(p.preds, preds)
+	for i := range p.vtSteps {
+		switch p.vtSteps[i].kind {
+		case vtStepClass:
+			p.vtSteps[i].class = classes[i]
+		case vtStepIntersects:
+			p.vtSteps[i].g = geoms[i]
+		}
+	}
+	p.join, p.joinDist = join, joinDist
+	return true
 }
 
 // stale reports whether a bound table's epoch moved since planning.
@@ -212,16 +371,17 @@ func (p *queryPlan) stale() bool {
 // joins reach the point cloud through the join operator instead.
 func (p *queryPlan) addPCConjunct(c Expr, allowRegion bool) {
 	if allowRegion && p.region == nil {
-		if r, ok := pcRegionFromConjunct(p.b, c); ok {
-			p.region = r
+		if r, ok := pcRegionFromConjunct(p.b, p.params, c); ok {
+			p.region, p.regionConj = r, c
 			return
 		}
 	}
-	if pred, ok := pcPredFromConjunct(p.b, c); ok {
+	if pred, ok := pcPredFromConjunct(p.b, p.params, c); ok {
 		p.preds = append(p.preds, pred)
+		p.predConjs = append(p.predConjs, c)
 		return
 	}
-	if cf, ok := compilePCFilter(p.b, c); ok {
+	if cf, ok := compilePCFilter(p.b, p.slots, c); ok {
 		p.generic = append(p.generic, genericStep{cf: cf, expr: c})
 		return
 	}
@@ -230,11 +390,11 @@ func (p *queryPlan) addPCConjunct(c Expr, allowRegion bool) {
 
 // addVTConjunct classifies one vector-table conjunct into its fast path.
 func (p *queryPlan) addVTConjunct(c Expr) {
-	if cls, ok := vtClassEquality(p.b, c); ok {
+	if cls, ok := vtClassEquality(p.b, p.params, c); ok {
 		p.vtSteps = append(p.vtSteps, vtStep{kind: vtStepClass, class: cls, expr: c})
 		return
 	}
-	if g, ok := vtIntersectsConst(p.b, c); ok {
+	if g, ok := vtIntersectsConst(p.b, p.params, c); ok {
 		p.vtSteps = append(p.vtSteps, vtStep{kind: vtStepIntersects, g: g, expr: c})
 		return
 	}
@@ -262,26 +422,31 @@ func (p *queryPlan) planJoinWhere(where Expr) error {
 	if joinConj == nil {
 		return fmt.Errorf("sql: joins require a spatial predicate linking the tables (e.g. ST_DWithin)")
 	}
-	return p.planJoinPredicate(joinConj)
+	p.joinConj = joinConj
+	join, dist, err := classifyJoinPredicate(p.b, p.params, joinConj)
+	if err != nil {
+		return err
+	}
+	p.join, p.joinDist = join, dist
+	return nil
 }
 
-// planJoinPredicate recognises the join predicate shape once, at prepare
-// time, so Run only dispatches on the resolved kind.
-func (p *queryPlan) planJoinPredicate(conj Expr) error {
-	b := p.b
+// classifyJoinPredicate recognises the join predicate shape once, at
+// prepare (or rebind) time, so Run only dispatches on the resolved kind.
+// Pure: it never touches plan state, so rebind can stage its result.
+func classifyJoinPredicate(b *binding, ps []Value, conj Expr) (joinKind, float64, error) {
 	f, ok := conj.(FuncCall)
 	if !ok {
-		return fmt.Errorf("sql: unsupported join predicate %q", conj.exprString())
+		return joinNone, 0, fmt.Errorf("sql: unsupported join predicate %q", conj.exprString())
 	}
 	switch f.Name {
 	case "st_dwithin":
 		if len(f.Args) == 3 {
-			d, dok := constNum(b, f.Args[2])
+			d, dok := constNum(b, ps, f.Args[2])
 			if dok {
 				for i := 0; i < 2; i++ {
 					if isVTGeom(b, f.Args[i]) && isPCPoint(b, f.Args[1-i]) {
-						p.join, p.joinDist = joinDWithin, d
-						return nil
+						return joinDWithin, d, nil
 					}
 				}
 			}
@@ -293,18 +458,16 @@ func (p *queryPlan) planJoinPredicate(conj Expr) error {
 					if f.Name != "st_intersects" && i != 0 {
 						break // containment is asymmetric
 					}
-					p.join = joinWithin
-					return nil
+					return joinWithin, 0, nil
 				}
 			}
 		}
 	case "st_within":
 		if len(f.Args) == 2 && isPCPoint(b, f.Args[0]) && isVTGeom(b, f.Args[1]) {
-			p.join = joinWithin
-			return nil
+			return joinWithin, 0, nil
 		}
 	}
-	return fmt.Errorf("sql: unsupported join predicate %q", conj.exprString())
+	return joinNone, 0, fmt.Errorf("sql: unsupported join predicate %q", conj.exprString())
 }
 
 // planOutput classifies the SELECT list and hoists the output columns.
@@ -440,18 +603,20 @@ func usage(b *binding, e Expr) refUse {
 	return u
 }
 
-// constGeom evaluates e without row context, expecting a geometry.
-func constGeom(b *binding, e Expr) (geom.Geometry, bool) {
-	v, err := evalExpr(&evalCtx{b: b, pcRow: -1, vtRow: -1}, e)
+// constGeom evaluates e without row context against the literal vector,
+// expecting a geometry.
+func constGeom(b *binding, ps []Value, e Expr) (geom.Geometry, bool) {
+	v, err := evalExpr(&evalCtx{b: b, ps: ps, pcRow: -1, vtRow: -1}, e)
 	if err != nil || v.Kind != KindGeom {
 		return nil, false
 	}
 	return v.Geom, true
 }
 
-// constNum evaluates e without row context, expecting a number.
-func constNum(b *binding, e Expr) (float64, bool) {
-	v, err := evalExpr(&evalCtx{b: b, pcRow: -1, vtRow: -1}, e)
+// constNum evaluates e without row context against the literal vector,
+// expecting a number.
+func constNum(b *binding, ps []Value, e Expr) (float64, bool) {
+	v, err := evalExpr(&evalCtx{b: b, ps: ps, pcRow: -1, vtRow: -1}, e)
 	if err != nil || v.Kind != KindNum {
 		return 0, false
 	}
@@ -482,7 +647,7 @@ func isVTGeom(b *binding, e Expr) bool {
 
 // pcRegionFromConjunct extracts an accelerable spatial region predicate over
 // the point cloud, if e has one of the recognised shapes.
-func pcRegionFromConjunct(b *binding, e Expr) (grid.Region, bool) {
+func pcRegionFromConjunct(b *binding, ps []Value, e Expr) (grid.Region, bool) {
 	f, ok := e.(FuncCall)
 	if !ok {
 		return nil, false
@@ -493,7 +658,7 @@ func pcRegionFromConjunct(b *binding, e Expr) (grid.Region, bool) {
 			return nil, false
 		}
 		for i := 0; i < 2; i++ {
-			g, gok := constGeom(b, f.Args[i])
+			g, gok := constGeom(b, ps, f.Args[i])
 			if gok && isPCPoint(b, f.Args[1-i]) {
 				return grid.GeometryRegion{G: g}, true
 			}
@@ -506,19 +671,19 @@ func pcRegionFromConjunct(b *binding, e Expr) (grid.Region, bool) {
 		if len(f.Args) != 2 {
 			return nil, false
 		}
-		if g, gok := constGeom(b, f.Args[1]); gok && isPCPoint(b, f.Args[0]) {
+		if g, gok := constGeom(b, ps, f.Args[1]); gok && isPCPoint(b, f.Args[0]) {
 			return grid.GeometryRegion{G: g}, true
 		}
 	case "st_dwithin":
 		if len(f.Args) != 3 {
 			return nil, false
 		}
-		d, dok := constNum(b, f.Args[2])
+		d, dok := constNum(b, ps, f.Args[2])
 		if !dok {
 			return nil, false
 		}
 		for i := 0; i < 2; i++ {
-			g, gok := constGeom(b, f.Args[i])
+			g, gok := constGeom(b, ps, f.Args[i])
 			if gok && isPCPoint(b, f.Args[1-i]) {
 				return grid.BufferRegion{G: g, D: d}, true
 			}
@@ -528,7 +693,7 @@ func pcRegionFromConjunct(b *binding, e Expr) (grid.Region, bool) {
 }
 
 // pcPredFromConjunct extracts a thematic column predicate.
-func pcPredFromConjunct(b *binding, e Expr) (engine.ColumnPred, bool) {
+func pcPredFromConjunct(b *binding, ps []Value, e Expr) (engine.ColumnPred, bool) {
 	switch t := e.(type) {
 	case BinaryExpr:
 		ops := map[string]engine.CmpOp{
@@ -539,16 +704,16 @@ func pcPredFromConjunct(b *binding, e Expr) (engine.ColumnPred, bool) {
 		if !ok {
 			return engine.ColumnPred{}, false
 		}
-		if col, v, ok := colAndConst(b, t.L, t.R); ok {
+		if col, v, ok := colAndConst(b, ps, t.L, t.R); ok {
 			return engine.ColumnPred{Column: col, Op: op, Value: v}, true
 		}
-		if col, v, ok := colAndConst(b, t.R, t.L); ok {
+		if col, v, ok := colAndConst(b, ps, t.R, t.L); ok {
 			return engine.ColumnPred{Column: col, Op: flipOp(op), Value: v}, true
 		}
 	case BetweenExpr:
 		col, okc := pcColumnName(b, t.Subject)
-		lo, okl := constNum(b, t.Lo)
-		hi, okh := constNum(b, t.Hi)
+		lo, okl := constNum(b, ps, t.Lo)
+		hi, okh := constNum(b, ps, t.Hi)
 		if okc && okl && okh {
 			return engine.ColumnPred{Column: col, Op: engine.CmpBetween, Value: lo, Value2: hi}, true
 		}
@@ -556,12 +721,12 @@ func pcPredFromConjunct(b *binding, e Expr) (engine.ColumnPred, bool) {
 	return engine.ColumnPred{}, false
 }
 
-func colAndConst(b *binding, colSide, constSide Expr) (string, float64, bool) {
+func colAndConst(b *binding, ps []Value, colSide, constSide Expr) (string, float64, bool) {
 	col, ok := pcColumnName(b, colSide)
 	if !ok {
 		return "", 0, false
 	}
-	v, ok := constNum(b, constSide)
+	v, ok := constNum(b, ps, constSide)
 	if !ok {
 		return "", 0, false
 	}
@@ -595,32 +760,46 @@ func flipOp(op engine.CmpOp) engine.CmpOp {
 	}
 }
 
-func vtClassEquality(b *binding, e Expr) (string, bool) {
+func vtClassEquality(b *binding, ps []Value, e Expr) (string, bool) {
 	t, ok := e.(BinaryExpr)
 	if !ok || t.Op != "=" {
 		return "", false
 	}
-	if c, ok := t.L.(ColumnRef); ok && strings.EqualFold(c.Name, vcClass) && b.isVTName(c.Table) {
-		if s, ok := t.R.(StringLit); ok {
+	// The class constant may be an inline literal or a parameter slot of
+	// string type — the slot's type is part of the statement shape, so a
+	// rebind can change the value but never the route.
+	constStr := func(e Expr) (string, bool) {
+		switch s := e.(type) {
+		case StringLit:
 			return s.Value, true
+		case ParamRef:
+			if s.Kind == KindStr && s.Index >= 0 && s.Index < len(ps) {
+				return ps[s.Index].Str, true
+			}
+		}
+		return "", false
+	}
+	if c, ok := t.L.(ColumnRef); ok && strings.EqualFold(c.Name, vcClass) && b.isVTName(c.Table) {
+		if s, ok := constStr(t.R); ok {
+			return s, true
 		}
 	}
 	if c, ok := t.R.(ColumnRef); ok && strings.EqualFold(c.Name, vcClass) && b.isVTName(c.Table) {
-		if s, ok := t.L.(StringLit); ok {
-			return s.Value, true
+		if s, ok := constStr(t.L); ok {
+			return s, true
 		}
 	}
 	return "", false
 }
 
-func vtIntersectsConst(b *binding, e Expr) (geom.Geometry, bool) {
+func vtIntersectsConst(b *binding, ps []Value, e Expr) (geom.Geometry, bool) {
 	f, ok := e.(FuncCall)
 	if !ok || f.Name != "st_intersects" || len(f.Args) != 2 {
 		return nil, false
 	}
 	for i := 0; i < 2; i++ {
 		if isVTGeom(b, f.Args[i]) {
-			if g, ok := constGeom(b, f.Args[1-i]); ok {
+			if g, ok := constGeom(b, ps, f.Args[1-i]); ok {
 				return g, true
 			}
 		}

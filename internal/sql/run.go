@@ -16,40 +16,92 @@ import (
 	"gisnav/internal/engine"
 )
 
+// Plan origins surfaced in the EXPLAIN trace's leading "plan" step, so the
+// skeleton fast path is observable per query: a shape-cache hit reports
+// rebound (new literals bound into the existing skeleton) or cached
+// (identical literals, nothing to do), a cache miss reports planned, and an
+// epoch- or classification-forced replan says so.
+const (
+	originPrepared  = "prepared"                    // standalone PreparedQuery run
+	originPlanned   = "planned (cold prepare)"      // statement-cache miss
+	originCached    = "cached (same literals)"      // shape hit, identical vector
+	originRebound   = "rebound (shape-cache hit)"   // shape hit, new vector bound
+	originReplanned = "replanned (epoch moved)"     // table epoch invalidated the plan
+	originDiverged  = "replanned (literal reclass)" // new literals changed classification
+)
+
 // Run executes the prepared statement against the current table state,
 // without an operator trace: the steady-state path. Result.Explain is nil;
 // use RunTraced when the per-operator EXPLAIN view matters. If a bound
 // table's epoch moved since planning, Run replans first, so an append
 // between two runs is always observed by the second.
-func (pq *PreparedQuery) Run() (*Result, error) { return pq.run(nil) }
+func (pq *PreparedQuery) Run() (*Result, error) { return pq.run(nil, pq.init, originPrepared) }
 
 // RunTraced is Run with the per-operator EXPLAIN trace Executor.Query
 // exposes. Tracing formats operator details per step and therefore
 // allocates; keep the plain Run on latency-critical paths.
-func (pq *PreparedQuery) RunTraced() (*Result, error) { return pq.run(&engine.Explain{}) }
+func (pq *PreparedQuery) RunTraced() (*Result, error) {
+	return pq.run(&engine.Explain{}, pq.init, originPrepared)
+}
 
-func (pq *PreparedQuery) run(ex *engine.Explain) (*Result, error) {
+// run executes the statement with the literal vector params, re-binding or
+// re-planning the cached skeleton as needed. origin labels how the caller
+// reached this plan; the epoch/rebind decisions below refine it before it
+// lands in the trace.
+func (pq *PreparedQuery) run(ex *engine.Explain, params []Value, origin string) (*Result, error) {
 	if !pq.mu.TryLock() {
 		// Another run of this statement is in flight. The plan's compiled
 		// kernels carry per-statement chunk scratch, so sharing it would
 		// mean serialising — instead concurrent callers pay one transient
 		// planning pass (a small fraction of a navigation query) and run
-		// fully parallel on their own plan.
-		plan, err := pq.ex.buildPlan(pq.stmt)
+		// fully parallel on their own plan, bound to their own literals.
+		plan, err := pq.ex.buildPlan(pq.stmt, params)
 		if err != nil {
 			return nil, err
 		}
-		tmp := &PreparedQuery{ex: pq.ex, stmt: pq.stmt, plan: plan}
-		return tmp.run(ex)
+		tmp := &PreparedQuery{ex: pq.ex, stmt: pq.stmt, init: params, plan: plan}
+		return tmp.run(ex, params, origin)
 	}
 	defer pq.mu.Unlock()
-	if pq.plan.stale() {
-		plan, err := pq.ex.buildPlan(pq.stmt)
+	// A shape hit carrying a new literal vector counts as a ShapeHit even
+	// when an epoch replan below supersedes the rebind — it is still a
+	// query the exact-text cache would have missed.
+	newLits := !equalParams(pq.plan.params, params)
+	if origin == originCached && newLits {
+		pq.ex.stmts.shapeHits.Add(1)
+		origin = originRebound
+	}
+	switch {
+	case pq.plan.stale():
+		// Epoch mismatch always replans — rebinding cannot help, the plan
+		// is bound to moved arrays.
+		plan, err := pq.ex.buildPlan(pq.stmt, params)
 		if err != nil {
 			return nil, err
 		}
 		pq.plan = plan
 		pq.ex.stmts.invalidations.Add(1)
+		origin = originReplanned
+	case newLits:
+		// Same shape, new literal vector: the shape-cache fast path. Bind
+		// the constants into the existing skeleton; fall back to a full
+		// replan only if the new values change conjunct classification.
+		// rebind stages before committing, so a failure here leaves the
+		// plan consistently bound to its previous vector even if the
+		// replan below errors too.
+		if pq.plan.rebind(pq.stmt, params) {
+			pq.ex.stmts.rebinds.Add(1)
+		} else {
+			plan, err := pq.ex.buildPlan(pq.stmt, params)
+			if err != nil {
+				return nil, err
+			}
+			pq.plan = plan
+			origin = originDiverged
+		}
+	}
+	if ex != nil {
+		ex.Add("plan", origin, 0, 0, 0)
 	}
 	p := pq.plan
 	switch p.mode {
@@ -131,7 +183,7 @@ func genericFilterPC(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error
 			continue
 		}
 		out := rows[:0]
-		ctx := &evalCtx{b: p.b, vtRow: -1}
+		ctx := &evalCtx{b: p.b, ps: p.params, vtRow: -1}
 		for _, r := range rows {
 			ctx.pcRow = r
 			v, err := evalExpr(ctx, g.expr)
@@ -187,7 +239,7 @@ func runVTSteps(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error) {
 			start := time.Now()
 			in := len(rows)
 			out := rows[:0]
-			ctx := &evalCtx{b: p.b, pcRow: -1}
+			ctx := &evalCtx{b: p.b, ps: p.params, pcRow: -1}
 			for _, r := range rows {
 				ctx.vtRow = r
 				v, err := evalExpr(ctx, st.expr)
@@ -246,7 +298,7 @@ func (pq *PreparedQuery) output(p *queryPlan, rows []int, ex *engine.Explain) (*
 	stmt := pq.stmt
 	switch p.out {
 	case outGrouped:
-		return outputGrouped(stmt, p.b, rows, isVector, ex)
+		return outputGrouped(p, stmt, rows, isVector, ex)
 	case outAggregate:
 		return outputAggregates(p, stmt, rows, isVector, ex)
 	}
@@ -254,7 +306,7 @@ func (pq *PreparedQuery) output(p *queryPlan, rows []int, ex *engine.Explain) (*
 	// ORDER BY.
 	if stmt.Order != nil {
 		keys := make([]Value, len(rows))
-		ctx := &evalCtx{b: p.b, pcRow: -1, vtRow: -1}
+		ctx := &evalCtx{b: p.b, ps: p.params, pcRow: -1, vtRow: -1}
 		for i, r := range rows {
 			setRow(ctx, isVector, r)
 			v, err := evalExpr(ctx, stmt.Order.Expr)
@@ -281,13 +333,13 @@ func (pq *PreparedQuery) output(p *queryPlan, rows []int, ex *engine.Explain) (*
 		}
 		rows = sorted
 	}
-	if stmt.Limit >= 0 && len(rows) > stmt.Limit {
-		rows = rows[:stmt.Limit]
+	if p.limit >= 0 && len(rows) > p.limit {
+		rows = rows[:p.limit]
 	}
 
 	start := time.Now()
 	res := &Result{Columns: p.cols, Explain: ex}
-	ctx := &evalCtx{b: p.b, pcRow: -1, vtRow: -1}
+	ctx := &evalCtx{b: p.b, ps: p.params, pcRow: -1, vtRow: -1}
 	for _, r := range rows {
 		setRow(ctx, isVector, r)
 		out := make([]Value, len(p.exprs))
@@ -333,7 +385,7 @@ func outputAggregates(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool,
 	out := make([]Value, len(stmt.Items))
 	for i, item := range stmt.Items {
 		f, _ := isAggregate(item.Expr)
-		v, err := computeAggregate(p.b, f, rows, isVector)
+		v, err := computeAggregate(p.b, p.params, f, rows, isVector)
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +398,7 @@ func outputAggregates(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool,
 	return res, nil
 }
 
-func computeAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, error) {
+func computeAggregate(b *binding, ps []Value, f FuncCall, rows []int, isVector bool) (Value, error) {
 	if f.Name == "count" {
 		if len(f.Args) == 0 {
 			return Value{}, fmt.Errorf("sql: count requires an argument (use count(*))")
@@ -361,7 +413,7 @@ func computeAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value,
 	if v, ok, err := kernelAggregate(b, f, rows, isVector); ok {
 		return v, err
 	}
-	ctx := &evalCtx{b: b, pcRow: -1, vtRow: -1}
+	ctx := &evalCtx{b: b, ps: ps, pcRow: -1, vtRow: -1}
 	// Accumulation matches the engine's aggregate kernels exactly (±Inf
 	// seeds, strict compares), so the same aggregate gives the same answer
 	// whether it routes through kernelAggregate or this fallback: sum/avg

@@ -26,13 +26,18 @@ const (
 	tokString
 	tokOp    // comparison and arithmetic operators
 	tokPunct // ( ) , . *
+	tokParam // a literal normalised into a parameter slot (params.go)
 )
 
-// token is one lexeme with its source offset for error messages.
+// token is one lexeme with its source offset for error messages. For
+// tokParam tokens — produced by the auto-parameterisation pass, never by the
+// lexer — idx is the parameter slot and vkind the extracted literal's type.
 type token struct {
-	kind tokenKind
-	text string
-	pos  int
+	kind  tokenKind
+	text  string
+	pos   int
+	idx   int
+	vkind ValueKind
 }
 
 // keywords recognised by the parser (upper-cased).

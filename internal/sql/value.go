@@ -119,9 +119,12 @@ func (b *binding) isVTName(q string) bool {
 }
 
 // evalCtx is the row context of the generic evaluator. Row indices of -1
-// mean "no current row" for that table.
+// mean "no current row" for that table. ps is the statement's bound literal
+// vector; ParamRef nodes read it, so a rebound plan's interpreter steps see
+// the new constants without any AST rewrite.
 type evalCtx struct {
 	b     *binding
+	ps    []Value
 	pcRow int
 	vtRow int
 }
@@ -143,6 +146,11 @@ func evalExpr(ctx *evalCtx, e Expr) (Value, error) {
 		return strVal(t.Value), nil
 	case BoolLit:
 		return boolVal(t.Value), nil
+	case ParamRef:
+		if t.Index >= 0 && t.Index < len(ctx.ps) {
+			return ctx.ps[t.Index], nil
+		}
+		return Value{}, fmt.Errorf("sql: unbound parameter $%d", t.Index+1)
 	case Star:
 		return Value{}, fmt.Errorf("sql: '*' is only valid in SELECT list or count(*)")
 	case ColumnRef:
