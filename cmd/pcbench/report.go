@@ -37,6 +37,7 @@ type cacheRecord struct {
 	StmtShapeHits      uint64 `json:"stmt_shape_hits"`
 	StmtRebinds        uint64 `json:"stmt_rebinds"`
 	StmtInvalidations  uint64 `json:"stmt_invalidations"`
+	StmtFrontHits      uint64 `json:"stmt_front_hits"`
 	PlanKernelsCached  int    `json:"plan_kernels_cached"`
 	PlanKernelHits     uint64 `json:"plan_kernel_hits"`
 	PlanKernelCompiles uint64 `json:"plan_kernel_compiles"`
@@ -92,6 +93,7 @@ func (r *jsonReport) addCache(experiment string, ss sql.StmtCacheStats, ps engin
 		StmtShapeHits:      ss.ShapeHits,
 		StmtRebinds:        ss.Rebinds,
 		StmtInvalidations:  ss.Invalidations,
+		StmtFrontHits:      ss.FrontHits,
 		PlanKernelsCached:  ps.Entries,
 		PlanKernelHits:     ps.Hits,
 		PlanKernelCompiles: ps.Misses,

@@ -89,6 +89,18 @@ func main() {
 			   AND ST_Contains(ua.geom, ST_Point(ahn2.x, ahn2.y))
 			   AND z > 20`,
 		},
+		{
+			"per-class breakdown of a viewport (the navigation histogram)",
+			`SELECT classification, count(*) AS points, avg(z) AS mean_z
+			 FROM ahn2
+			 WHERE ST_Contains(ST_MakeEnvelope(400, 400, 1400, 1400), ST_Point(x, y))
+			 GROUP BY classification`,
+		},
+		{
+			"zone count and mean density per land-use class",
+			`SELECT class, count(*) AS zones, avg(pop_density) AS density
+			 FROM ua GROUP BY class ORDER BY zones DESC LIMIT 5`,
+		},
 	}
 
 	for i, q := range queries {
@@ -117,4 +129,29 @@ func main() {
 	}
 	fmt.Println("-- per-operator execution trace of Q2:")
 	fmt.Print(res.Explain.String())
+
+	// Panning the viewport histogram: the same GROUP BY statement with a
+	// slid bbox goes through Executor.Query, so the second step is a
+	// shape-cache hit that re-binds the cached grouped plan instead of
+	// re-planning — the trace's leading "plan" step says "rebound" and the
+	// "group" step reports the vectorized strategy (dense: the class column
+	// is a u8 key served by array-indexed accumulator banks).
+	fmt.Println()
+	fmt.Println("-- panning the viewport histogram (cached grouped plan):")
+	pan := `SELECT classification, count(*) AS points, avg(z) AS mean_z
+	        FROM ahn2
+	        WHERE ST_Contains(ST_MakeEnvelope(600, 500, 1600, 1500), ST_Point(x, y))
+	        GROUP BY classification`
+	res, err = exec.Query(pan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res.Explain.Steps {
+		if s.Op == "plan" || s.Op == "group" {
+			fmt.Printf("  %-6s %s\n", s.Op, s.Detail)
+		}
+	}
+	st := exec.StmtCacheStats()
+	fmt.Printf("  stmt cache: %d shapes, %d hits (%d shape hits, %d rebinds, %d front hits)\n",
+		st.Entries, st.Hits, st.ShapeHits, st.Rebinds, st.FrontHits)
 }

@@ -15,6 +15,7 @@ const (
 	opRefineRange      = "refine.range"      // exact range kernel over candidate blocks
 	opScanRange        = "scan.range"        // full-column range kernel (no index)
 	opAggregate        = "aggregate"         // typed aggregate kernel
+	opGroupAgg         = "group.agg"         // grouped-aggregate kernel (dense/hash)
 	opGridRefine       = "grid.refine"       // spatial refinement over candidates
 	opSelectRegion     = "select.region"     // spatial selection driver
 	opImprintsBuild    = "imprints.build"    // one-time index construction

@@ -1,0 +1,596 @@
+// Grouped-aggregation kernels: GROUP BY over one key column with typed
+// accumulate passes over the value columns, executed column-at-a-time in the
+// MonetDB style the paper's performance case rests on (§2.1.1). The paper's
+// navigation workload re-aggregates the viewport on every pan/zoom step
+// (class histograms, per-class elevation stats), so this layer is built for
+// the repeated case: accumulator scratch comes from the striped pools and
+// the result lands in a caller-owned reusable record, leaving a steady-state
+// dense-path run with zero heap allocations.
+//
+// Two strategies, chosen per run from the key column type and the selection
+// size:
+//
+//   - dense: small-domain integer keys (u8/u16 class-style columns). The
+//     accumulator is an array bank indexed directly by key value — the same
+//     insight as the vector table's per-class posting lists: a class-coded
+//     column IS its own perfect hash. One gather-free pass per aggregate.
+//   - hash: general keys (f64/i64/i32, or u16 selections too small to repay
+//     clearing a 64K bank). Open-addressed table over the float64-widened
+//     key bits, group slots assigned on first appearance; a slot vector
+//     aligned with the selection lets every aggregate pass run without
+//     re-hashing.
+//
+// Semantics contract (shared with Aggregate and the SQL layer's interpreter
+// fallback): values widen to float64 exactly as Column.Value does;
+// accumulation runs in ascending row order per group, so sums are
+// bit-identical to a row-at-a-time loop; min/max seed at ±Inf with strict
+// compares, so NaN values never win them; sum/avg propagate NaN. Key
+// identity is float64-bit identity with every NaN collapsed to one group
+// (matching the SQL layer, where all NaNs render as one key) and -0/+0 kept
+// distinct. Groups are emitted in the total order of FloatOrderKey —
+// ascending numeric, -0 before +0, NaN last — on both strategies.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gisnav/internal/colstore"
+)
+
+// GroupedAggSpec is one requested aggregate of a grouped run. Column names
+// the value column; AggCount ignores it (count(*) and count(col) over the
+// NULL-free flat table are both the group size).
+type GroupedAggSpec struct {
+	Fn     AggFunc
+	Column string
+}
+
+// Grouped-aggregation strategy labels, surfaced through EXPLAIN.
+const (
+	GroupDense = "dense"
+	GroupHash  = "hash"
+)
+
+// GroupedResult is the reusable output record of GroupedAggregate: Keys[i]
+// is the float64-widened key of group i, Cols[j][i] the j-th requested
+// aggregate over it. Buffers are retained across calls — a caller that keeps
+// one GroupedResult per repeated statement reaches a zero-allocation steady
+// state. Contents are valid until the next GroupedAggregate call on the
+// same record.
+type GroupedResult struct {
+	Keys     []float64
+	Cols     [][]float64
+	Strategy string
+}
+
+// reset prepares the record for nspecs aggregates, retaining capacity.
+func (r *GroupedResult) reset(nspecs int) {
+	r.Keys = r.Keys[:0]
+	if cap(r.Cols) < nspecs {
+		r.Cols = make([][]float64, nspecs)
+	}
+	r.Cols = r.Cols[:nspecs]
+	for j := range r.Cols {
+		r.Cols[j] = r.Cols[j][:0]
+	}
+}
+
+// Groups reports the number of groups in the result.
+func (r *GroupedResult) Groups() int { return len(r.Keys) }
+
+// FloatOrderKey maps a float64 to a uint64 whose unsigned order is a total
+// order over all float values: ascending numerically, -0 before +0, and
+// every NaN (canonicalised) after +Inf. Grouped results are emitted in this
+// order on every strategy, and the SQL layer sorts its interpreter-fallback
+// groups with the same key so the two paths are order-identical.
+func FloatOrderKey(v float64) uint64 {
+	b := canonicalBits(v)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// canonicalBits is the group-identity bit pattern of a key value: the IEEE
+// bits with every NaN payload collapsed to one representative, so NaN keys
+// form a single group instead of one per payload.
+func canonicalBits(v float64) uint64 {
+	if v != v {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(v)
+}
+
+// denseMinRowsPerSlot gates the dense strategy for the u16 domain: clearing
+// and scanning a 64K-slot bank per aggregate only repays when the selection
+// carries enough rows. Below dom/denseMinRowsPerSlot rows the hash path wins.
+const denseMinRowsPerSlot = 4
+
+// GroupedAggregate computes the specs over the rows selection (nil means all
+// rows) grouped by the key column, into res. The strategy — dense
+// array-indexed banks for u8/u16 keys, the hash table otherwise — is
+// recorded in res.Strategy and the EXPLAIN step. Scratch comes from the
+// engine's striped pools; with res reused across calls, a steady-state run
+// allocates nothing.
+func (pc *PointCloud) GroupedAggregate(rows []int, key string, specs []GroupedAggSpec, res *GroupedResult, ex *Explain) error {
+	start := time.Now()
+	keyCol := pc.Column(key)
+	if keyCol == nil {
+		return fmt.Errorf("engine: unknown group key column %q", key)
+	}
+	n := len(rows)
+	all := rows == nil
+	if all {
+		n = pc.Len()
+	}
+	// Validate specs before touching any scratch: value columns must exist
+	// and the function must be known (count ignores its column).
+	for _, s := range specs {
+		switch s.Fn {
+		case AggCount:
+		case AggSum, AggAvg, AggMin, AggMax:
+			if pc.Column(s.Column) == nil {
+				return fmt.Errorf("engine: unknown aggregate column %q", s.Column)
+			}
+		default:
+			return fmt.Errorf("engine: unknown aggregate %d", s.Fn)
+		}
+	}
+	res.reset(len(specs))
+
+	switch k := keyCol.(type) {
+	case *colstore.U8Column:
+		denseGrouped(pc, k.Values(), 1<<8, rows, all, n, specs, res)
+		res.Strategy = GroupDense
+	case *colstore.U16Column:
+		if n >= (1<<16)/denseMinRowsPerSlot {
+			denseGrouped(pc, k.Values(), 1<<16, rows, all, n, specs, res)
+			res.Strategy = GroupDense
+			break
+		}
+		hashGrouped(pc, keyCol, rows, all, n, specs, res)
+		res.Strategy = GroupHash
+	default:
+		hashGrouped(pc, keyCol, rows, all, n, specs, res)
+		res.Strategy = GroupHash
+	}
+	if ex != nil {
+		ex.Add(opGroupAgg, fmt.Sprintf("%s key %s, %d aggs", res.Strategy, key, len(specs)),
+			n, len(res.Keys), time.Since(start))
+	}
+	return nil
+}
+
+// --- dense path ----------------------------------------------------------------
+
+// denseKey covers the key column element types with array-indexable domains.
+type denseKey interface {
+	~uint8 | ~uint16
+}
+
+// denseGrouped is the array-indexed strategy: one pooled bank of dom slots
+// per aggregate (plus the shared count bank), one column-at-a-time pass per
+// aggregate, then an ascending domain scan emits the non-empty groups — the
+// keys therefore come out already in FloatOrderKey order.
+func denseGrouped[K denseKey](pc *PointCloud, keys []K, dom int, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult) {
+	banks := getF64Buf(dom * (1 + len(specs)))[:dom*(1+len(specs))]
+	cnt := banks[:dom]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	denseCount(keys, rows, all, cnt)
+	for j, s := range specs {
+		bank := banks[(1+j)*dom : (2+j)*dom]
+		switch s.Fn {
+		case AggCount:
+			// Served from the shared count bank at emit time.
+		case AggMin:
+			for i := range bank {
+				bank[i] = math.Inf(1)
+			}
+			denseAccumCol(keys, pc.Column(s.Column), rows, all, AggMin, bank)
+		case AggMax:
+			for i := range bank {
+				bank[i] = math.Inf(-1)
+			}
+			denseAccumCol(keys, pc.Column(s.Column), rows, all, AggMax, bank)
+		default: // AggSum, AggAvg
+			for i := range bank {
+				bank[i] = 0
+			}
+			denseAccumCol(keys, pc.Column(s.Column), rows, all, AggSum, bank)
+		}
+	}
+	for k := 0; k < dom; k++ {
+		c := cnt[k]
+		if c == 0 {
+			continue
+		}
+		res.Keys = append(res.Keys, float64(k))
+		for j, s := range specs {
+			v := banks[(1+j)*dom+k]
+			switch s.Fn {
+			case AggCount:
+				v = c
+			case AggAvg:
+				v /= c
+			}
+			res.Cols[j] = append(res.Cols[j], v)
+		}
+	}
+	recycleF64(banks)
+}
+
+// denseCount is the group-size pass: one increment per selected row into the
+// key-indexed count bank.
+func denseCount[K denseKey](keys []K, rows []int, all bool, cnt []float64) {
+	if all {
+		for _, k := range keys {
+			cnt[k]++
+		}
+		return
+	}
+	for _, r := range rows {
+		cnt[keys[r]]++
+	}
+}
+
+// denseAccumCol dispatches one accumulate pass to the value column's
+// concrete type; the default arm preserves Column.Value semantics for types
+// without a typed fast path.
+func denseAccumCol[K denseKey](keys []K, col colstore.Column, rows []int, all bool, fn AggFunc, bank []float64) {
+	switch c := col.(type) {
+	case *colstore.F64Column:
+		denseAccum(keys, c.Values(), rows, all, fn, bank)
+	case *colstore.I64Column:
+		denseAccum(keys, c.Values(), rows, all, fn, bank)
+	case *colstore.I32Column:
+		denseAccum(keys, c.Values(), rows, all, fn, bank)
+	case *colstore.U16Column:
+		denseAccum(keys, c.Values(), rows, all, fn, bank)
+	case *colstore.U8Column:
+		denseAccum(keys, c.Values(), rows, all, fn, bank)
+	default:
+		if all {
+			for i := range keys {
+				accumOne(fn, bank, int(keys[i]), col.Value(i))
+			}
+			return
+		}
+		for _, r := range rows {
+			accumOne(fn, bank, int(keys[r]), col.Value(r))
+		}
+	}
+}
+
+// denseAccum is the monomorphic scatter-accumulate loop: for each selected
+// row, fold the float64-widened value into the key-indexed slot. The fn
+// switch is hoisted above the loops so each shape scans branch-predictably.
+func denseAccum[K denseKey, V number](keys []K, vals []V, rows []int, all bool, fn AggFunc, bank []float64) {
+	switch fn {
+	case AggMin:
+		if all {
+			for i, v := range vals {
+				f := float64(v)
+				if f < bank[keys[i]] {
+					bank[keys[i]] = f
+				}
+			}
+			return
+		}
+		for _, r := range rows {
+			f := float64(vals[r])
+			if f < bank[keys[r]] {
+				bank[keys[r]] = f
+			}
+		}
+	case AggMax:
+		if all {
+			for i, v := range vals {
+				f := float64(v)
+				if f > bank[keys[i]] {
+					bank[keys[i]] = f
+				}
+			}
+			return
+		}
+		for _, r := range rows {
+			f := float64(vals[r])
+			if f > bank[keys[r]] {
+				bank[keys[r]] = f
+			}
+		}
+	default: // AggSum (AggAvg divides at emit)
+		if all {
+			for i, v := range vals {
+				bank[keys[i]] += float64(v)
+			}
+			return
+		}
+		for _, r := range rows {
+			bank[keys[r]] += float64(vals[r])
+		}
+	}
+}
+
+// accumOne is the generic-column fallback of one accumulate step.
+func accumOne(fn AggFunc, bank []float64, k int, v float64) {
+	switch fn {
+	case AggMin:
+		if v < bank[k] {
+			bank[k] = v
+		}
+	case AggMax:
+		if v > bank[k] {
+			bank[k] = v
+		}
+	default:
+		bank[k] += v
+	}
+}
+
+// --- hash path -----------------------------------------------------------------
+
+// groupHash is the open-addressed group table of the hash strategy. All
+// three buffers are pooled; the struct itself lives on the caller's stack.
+// table holds slot+1 (0 = empty) indexed by the canonical key bits' hash;
+// keys and cnt are indexed by slot in first-appearance order.
+type groupHash struct {
+	table []int
+	keys  []float64
+	cnt   []float64
+}
+
+// hashSeed is the multiplicative mixer of the canonical key bits
+// (Fibonacci hashing); the table-sized mask is applied by the probe loops.
+const hashSeed = 0x9E3779B97F4A7C15
+
+// slotOf returns the group slot of key value v, inserting a new slot (and
+// growing the table at 50% load) on first appearance.
+func (g *groupHash) slotOf(v float64) int {
+	b := canonicalBits(v)
+	mask := len(g.table) - 1
+	i := int((b*hashSeed)>>33) & mask
+	for {
+		s := g.table[i]
+		if s == 0 {
+			if 2*(len(g.keys)+1) > len(g.table) {
+				g.grow()
+				mask = len(g.table) - 1
+				i = int((b*hashSeed)>>33) & mask
+				for g.table[i] != 0 {
+					i = (i + 1) & mask
+				}
+			}
+			g.keys = append(g.keys, v)
+			g.cnt = append(g.cnt, 0)
+			g.table[i] = len(g.keys)
+			return len(g.keys) - 1
+		}
+		if canonicalBits(g.keys[s-1]) == b {
+			return s - 1
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow rehashes into a table four times the size.
+func (g *groupHash) grow() {
+	old := g.table
+	next := getRowBuf(4 * len(old))[:4*len(old)]
+	for i := range next {
+		next[i] = 0
+	}
+	mask := len(next) - 1
+	for s, k := range g.keys {
+		i := int((canonicalBits(k)*hashSeed)>>33) & mask
+		for next[i] != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = s + 1
+	}
+	g.table = next
+	RecycleRows(old)
+}
+
+// hashGrouped is the general-key strategy: pass 0 assigns a group slot to
+// every selected row (recorded in a selection-aligned slot vector) while
+// counting group sizes; each aggregate then runs one re-hash-free
+// scatter-accumulate pass over the slot vector. Groups are emitted in
+// first-appearance order and sorted into FloatOrderKey order at the end.
+func hashGrouped(pc *PointCloud, keyCol colstore.Column, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult) {
+	tabSize := 1 << 10
+	for tabSize < 4*n && tabSize < 1<<20 {
+		tabSize <<= 1
+	}
+	g := groupHash{
+		table: getRowBuf(tabSize)[:tabSize],
+		keys:  getF64Buf(64),
+		cnt:   getF64Buf(64),
+	}
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	slots := getRowBuf(n)[:n]
+	hashKeyCol(keyCol, rows, all, &g, slots)
+
+	groups := len(g.keys)
+	bank := getF64Buf(groups)
+	for j, s := range specs {
+		bank = bank[:groups]
+		switch s.Fn {
+		case AggCount:
+			res.Cols[j] = append(res.Cols[j], g.cnt...)
+			continue
+		case AggMin:
+			for i := range bank {
+				bank[i] = math.Inf(1)
+			}
+		case AggMax:
+			for i := range bank {
+				bank[i] = math.Inf(-1)
+			}
+		default:
+			for i := range bank {
+				bank[i] = 0
+			}
+		}
+		hashAccumCol(pc.Column(s.Column), rows, all, slots, s.Fn, bank)
+		if s.Fn == AggAvg {
+			for i := range bank {
+				bank[i] /= g.cnt[i]
+			}
+		}
+		res.Cols[j] = append(res.Cols[j], bank...)
+	}
+	res.Keys = append(res.Keys, g.keys...)
+	recycleF64(bank)
+	recycleF64(g.keys)
+	recycleF64(g.cnt)
+	RecycleRows(g.table)
+	RecycleRows(slots)
+	sortGrouped(res)
+}
+
+// hashKeyCol dispatches pass 0 to the key column's concrete type.
+func hashKeyCol(col colstore.Column, rows []int, all bool, g *groupHash, slots []int) {
+	switch c := col.(type) {
+	case *colstore.F64Column:
+		hashKeys(c.Values(), rows, all, g, slots)
+	case *colstore.I64Column:
+		hashKeys(c.Values(), rows, all, g, slots)
+	case *colstore.I32Column:
+		hashKeys(c.Values(), rows, all, g, slots)
+	case *colstore.U16Column:
+		hashKeys(c.Values(), rows, all, g, slots)
+	case *colstore.U8Column:
+		hashKeys(c.Values(), rows, all, g, slots)
+	default:
+		for i := range slots {
+			r := i
+			if !all {
+				r = rows[i]
+			}
+			s := g.slotOf(col.Value(r))
+			g.cnt[s]++
+			slots[i] = s
+		}
+	}
+}
+
+// hashKeys assigns slots for one key column: the float64 widening matches
+// Column.Value, so an i64 key groups exactly as the row-at-a-time path does
+// (lossy widening included).
+func hashKeys[K number](vals []K, rows []int, all bool, g *groupHash, slots []int) {
+	for i := range slots {
+		r := i
+		if !all {
+			r = rows[i]
+		}
+		s := g.slotOf(float64(vals[r]))
+		g.cnt[s]++
+		slots[i] = s
+	}
+}
+
+// hashAccumCol dispatches one accumulate pass to the value column type.
+func hashAccumCol(col colstore.Column, rows []int, all bool, slots []int, fn AggFunc, bank []float64) {
+	switch c := col.(type) {
+	case *colstore.F64Column:
+		hashAccum(c.Values(), rows, all, slots, fn, bank)
+	case *colstore.I64Column:
+		hashAccum(c.Values(), rows, all, slots, fn, bank)
+	case *colstore.I32Column:
+		hashAccum(c.Values(), rows, all, slots, fn, bank)
+	case *colstore.U16Column:
+		hashAccum(c.Values(), rows, all, slots, fn, bank)
+	case *colstore.U8Column:
+		hashAccum(c.Values(), rows, all, slots, fn, bank)
+	default:
+		for i, s := range slots {
+			r := i
+			if !all {
+				r = rows[i]
+			}
+			accumOne(fn, bank, s, col.Value(r))
+		}
+	}
+}
+
+// hashAccum is the slot-vector scatter-accumulate loop of the hash path.
+func hashAccum[V number](vals []V, rows []int, all bool, slots []int, fn AggFunc, bank []float64) {
+	switch fn {
+	case AggMin:
+		for i, s := range slots {
+			r := i
+			if !all {
+				r = rows[i]
+			}
+			f := float64(vals[r])
+			if f < bank[s] {
+				bank[s] = f
+			}
+		}
+	case AggMax:
+		for i, s := range slots {
+			r := i
+			if !all {
+				r = rows[i]
+			}
+			f := float64(vals[r])
+			if f > bank[s] {
+				bank[s] = f
+			}
+		}
+	default: // AggSum / AggAvg
+		for i, s := range slots {
+			r := i
+			if !all {
+				r = rows[i]
+			}
+			bank[s] += float64(vals[r])
+		}
+	}
+}
+
+// sortGrouped orders the result groups by FloatOrderKey, permuting the key
+// and every aggregate column together. Heapsort keeps it allocation-free
+// (sort.Interface would box the sorter); grouped results are small relative
+// to the scan that produced them, so the non-stable order is irrelevant —
+// keys are unique, making the sort a permutation with a single fixed point.
+func sortGrouped(r *GroupedResult) {
+	n := len(r.Keys)
+	for start := n/2 - 1; start >= 0; start-- {
+		siftGrouped(r, start, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		swapGrouped(r, 0, end)
+		siftGrouped(r, 0, end)
+	}
+}
+
+func siftGrouped(r *GroupedResult, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && FloatOrderKey(r.Keys[child]) < FloatOrderKey(r.Keys[child+1]) {
+			child++
+		}
+		if FloatOrderKey(r.Keys[root]) >= FloatOrderKey(r.Keys[child]) {
+			return
+		}
+		swapGrouped(r, root, child)
+		root = child
+	}
+}
+
+func swapGrouped(r *GroupedResult, i, j int) {
+	r.Keys[i], r.Keys[j] = r.Keys[j], r.Keys[i]
+	for _, c := range r.Cols {
+		c[i], c[j] = c[j], c[i]
+	}
+}

@@ -10,11 +10,13 @@ import (
 )
 
 // rowPool recycles selection vectors; rangePool recycles imprint
-// candidate-range lists. Budgets assume 8-byte row ids (256 MiB) and
-// 16-byte ranges (128 MiB).
+// candidate-range lists; f64Pool recycles float64 scratch (grouped-aggregate
+// accumulator banks, hash-table key stores). Budgets assume 8-byte row ids
+// (256 MiB), 16-byte ranges (128 MiB) and 8-byte floats (128 MiB).
 var (
 	rowPool   = colstore.Pool[int]{MaxElts: 1 << 25}
 	rangePool = colstore.Pool[colstore.Range]{MaxElts: 1 << 23}
+	f64Pool   = colstore.Pool[float64]{MaxElts: 1 << 24}
 )
 
 // getRowBuf acquires a pooled selection vector sized for capHint rows.
@@ -35,6 +37,14 @@ func RecycleRows(rows []int) { rowPool.Put(rows) }
 
 // getRangeBuf acquires a pooled candidate-range buffer.
 func getRangeBuf(capHint int) []colstore.Range { return rangePool.Get(capHint) }
+
+// getF64Buf acquires a pooled float64 scratch buffer (grouped-aggregate
+// accumulator banks and hash key stores). Pooled buffers carry stale
+// contents: callers must initialise every element they read.
+func getF64Buf(capHint int) []float64 { return f64Pool.Get(capHint) }
+
+// recycleF64 returns a float64 scratch buffer to its pool.
+func recycleF64(b []float64) { f64Pool.Put(b) }
 
 // RecycleRanges returns a candidate-range buffer drawn from the engine's
 // pool (imprint CandidateRangesInto / IntersectRangesInto output routed
@@ -63,5 +73,12 @@ func SelectionPoolStats() PoolStats {
 // RangePoolStats snapshots the candidate-range pool.
 func RangePoolStats() PoolStats {
 	free, elts, outstanding := rangePool.Stats()
+	return PoolStats{Free: free, FreeElts: int(elts), Outstanding: outstanding}
+}
+
+// F64PoolStats snapshots the float64 scratch pool (grouped-aggregate
+// accumulator banks).
+func F64PoolStats() PoolStats {
+	free, elts, outstanding := f64Pool.Stats()
 	return PoolStats{Free: free, FreeElts: int(elts), Outstanding: outstanding}
 }

@@ -55,13 +55,27 @@ func (e *Executor) QueryUntraced(src string) (*Result, error) {
 	return e.query(src, nil)
 }
 
-// query is the shared two-level lookup behind Query and QueryUntraced.
+// query is the shared two-level lookup behind Query and QueryUntraced, with
+// a front cache short-circuiting the lexer: parameterize is a pure function
+// of the statement text, so an exact text seen before maps straight to its
+// interned (shape key, literal vector) without re-lexing — the remaining
+// per-step overhead for very small viewports where the scan no longer
+// dominates. The interned vector is shared across calls and must therefore
+// never be mutated downstream (rebind copies out of it; plans copy it).
 func (e *Executor) query(src string, ex *engine.Explain) (*Result, error) {
+	if key, params, ok := e.stmts.frontLookup(src); ok {
+		if pq := e.stmts.lookup(key); pq != nil {
+			return pq.run(ex, params, originCached)
+		}
+		// Interned text whose statement was evicted: fall through and
+		// re-lex, the same path as a brand-new text.
+	}
 	key, toks, params, err := parameterize(src)
 	if err != nil {
 		return nil, err
 	}
 	if pq := e.stmts.lookup(key); pq != nil {
+		e.stmts.frontInsert(src, key, params)
 		return pq.run(ex, params, originCached)
 	}
 	stmt, err := parseTokens(toks)
@@ -73,6 +87,7 @@ func (e *Executor) query(src string, ex *engine.Explain) (*Result, error) {
 		return nil, err
 	}
 	e.stmts.insert(key, pq)
+	e.stmts.frontInsert(src, key, params)
 	return pq.run(ex, params, originPlanned)
 }
 
@@ -96,16 +111,56 @@ func (e *Executor) Exec(stmt *SelectStmt) (*Result, error) {
 // same policy as the engine's kernel plan cache).
 const maxCachedStmts = 256
 
-// stmtCache memoises PreparedQuery objects by statement shape.
+// maxFrontEntries bounds the text→shape front cache. A navigation session
+// revisits a bounded set of exact texts (zoom levels, bookmarked viewports);
+// an unbounded ad-hoc stream must not grow the map, so past the bound it is
+// dropped and rebuilt from the live working set, like the caches below it.
+const maxFrontEntries = 512
+
+// frontEntry is one interned parameterization: the shape key plus the
+// literal vector extracted from exactly this text. The vector is shared
+// with every lookup of the text — read-only by contract.
+type frontEntry struct {
+	key    string
+	params []Value
+}
+
+// stmtCache memoises PreparedQuery objects by statement shape, fronted by
+// the text→shape intern map (see Executor.query).
 type stmtCache struct {
 	mu    sync.Mutex
 	stmts map[string]*PreparedQuery
+	front map[string]frontEntry
 
 	hits          atomic.Uint64
 	misses        atomic.Uint64
 	shapeHits     atomic.Uint64
 	rebinds       atomic.Uint64
 	invalidations atomic.Uint64
+	frontHits     atomic.Uint64
+}
+
+// frontLookup returns the interned shape of an exact statement text.
+func (c *stmtCache) frontLookup(src string) (key string, params []Value, ok bool) {
+	c.mu.Lock()
+	fe, ok := c.front[src]
+	c.mu.Unlock()
+	if ok {
+		c.frontHits.Add(1)
+	}
+	return fe.key, fe.params, ok
+}
+
+// frontInsert interns one text's parameterization, resetting the map past
+// its bound. Only successfully parameterized texts reach here, so errors
+// are never interned.
+func (c *stmtCache) frontInsert(src, key string, params []Value) {
+	c.mu.Lock()
+	if c.front == nil || len(c.front) >= maxFrontEntries {
+		c.front = make(map[string]frontEntry, 16)
+	}
+	c.front[src] = frontEntry{key: key, params: params}
+	c.mu.Unlock()
 }
 
 // lookup returns the cached statement for the shape key, counting hit/miss.
@@ -122,11 +177,14 @@ func (c *stmtCache) lookup(key string) *PreparedQuery {
 }
 
 // insert stores pq under the shape key, resetting the cache when it outgrew
-// its bound. Parse and plan errors are never cached.
+// its bound. Parse and plan errors are never cached. The front cache drops
+// with the statement cache: its entries stay valid (parameterize is pure),
+// but texts whose statements were evicted would otherwise pin dead interns.
 func (c *stmtCache) insert(key string, pq *PreparedQuery) {
 	c.mu.Lock()
 	if c.stmts == nil || len(c.stmts) >= maxCachedStmts {
 		c.stmts = make(map[string]*PreparedQuery, 16)
+		c.front = nil
 	}
 	c.stmts[key] = pq
 	c.mu.Unlock()
@@ -141,14 +199,17 @@ func (c *stmtCache) insert(key string, pq *PreparedQuery) {
 // minus Rebinds is the (rare) classification-divergence replans.
 // Invalidations counts epoch-forced replans of this executor's prepared
 // statements (cached or standalone): each one is an append observed by the
-// SQL layer, the signal the invalidation tests assert on.
+// SQL layer, the signal the invalidation tests assert on. FrontHits counts
+// exact-text front-cache hits — queries that skipped the lexer entirely.
 type StmtCacheStats struct {
 	Entries       int
+	FrontEntries  int
 	Hits          uint64
 	Misses        uint64
 	ShapeHits     uint64
 	Rebinds       uint64
 	Invalidations uint64
+	FrontHits     uint64
 }
 
 // StmtCacheStats snapshots the executor's statement cache.
@@ -156,13 +217,16 @@ func (e *Executor) StmtCacheStats() StmtCacheStats {
 	c := &e.stmts
 	c.mu.Lock()
 	entries := len(c.stmts)
+	frontEntries := len(c.front)
 	c.mu.Unlock()
 	return StmtCacheStats{
 		Entries:       entries,
+		FrontEntries:  frontEntries,
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		ShapeHits:     c.shapeHits.Load(),
 		Rebinds:       c.rebinds.Load(),
 		Invalidations: c.invalidations.Load(),
+		FrontHits:     c.frontHits.Load(),
 	}
 }

@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -9,11 +10,44 @@ import (
 	"gisnav/internal/engine"
 )
 
-// GROUP BY execution. Each select item must be either an aggregate or an
-// expression appearing in the GROUP BY list; one output row emerges per
-// distinct key, ordered by key (or by ORDER BY over an output column).
+// GROUP BY: planning and execution. Each select item must be either an
+// aggregate or an expression appearing in the GROUP BY list; one output row
+// emerges per distinct key, ordered by key value (or by ORDER BY over an
+// output column).
+//
+// Classification happens ONCE, at Prepare (planGrouped): aliases in the
+// GROUP BY list resolve to their select-item expressions, every select item
+// is classified as key or aggregate, and the plan records whether the whole
+// statement vectorizes — a single point-cloud key column with every
+// aggregate a count(*) or a bare-column count/sum/avg/min/max. Vectorized
+// statements execute through the engine's grouped-aggregate kernels
+// (engine/groupagg.go: dense array banks for u8/u16 keys, the hash table
+// otherwise), with the engine's reusable result record held in the plan as
+// per-statement scratch — the same one-run-at-a-time ownership as the
+// compiled kernels' chunk buffers. Everything else (vector tables, joins
+// grouped on vector columns, computed keys, expression aggregate
+// arguments) retains the row-at-a-time interpreter as the fallback arm.
+// The EXPLAIN "group" step reports which strategy ran: dense, hash, or
+// interpreter.
+//
+// Rebind contract (PR 4): GROUP BY and SELECT-list literals stay inline by
+// policy, so a groupedPlan derives nothing from the literal vector — the
+// key column, aggregate specs and item classification are shape-stable and
+// survive every rebind untouched. WHERE-derived constants reach a grouped
+// query only through the shared filter phases, which already route them
+// through ColumnPred staging and the paramStore slots; no grouped kernel
+// closes over a predicate constant. Epoch moves replan as usual
+// (classification reads the table schema).
+//
+// Semantics note: both arms share the engine's aggregate accumulation
+// contract (see computeAggregate): min/max seed at ±Inf with strict
+// compares so NaN values never win them, sum/avg propagate NaN, and sums
+// accumulate in ascending row order per group. Key identity collapses every
+// NaN into one group; output order is the engine's FloatOrderKey total
+// order per key (ascending numeric, -0 before +0, NaN last; strings sort
+// lexically).
 
-// aggAcc accumulates one aggregate over one group.
+// aggAcc accumulates one aggregate over one group (interpreter arm).
 type aggAcc struct {
 	n        int
 	sum      float64
@@ -21,16 +55,14 @@ type aggAcc struct {
 	starArgs bool // count(*)
 }
 
+// add folds one value; lo/hi start at ±Inf (newGroup) and use strict
+// compares, matching the engine kernels' NaN behaviour exactly.
 func (a *aggAcc) add(v float64) {
-	if a.n == 0 {
-		a.lo, a.hi = v, v
-	} else {
-		if v < a.lo {
-			a.lo = v
-		}
-		if v > a.hi {
-			a.hi = v
-		}
+	if v < a.lo {
+		a.lo = v
+	}
+	if v > a.hi {
+		a.hi = v
 	}
 	a.sum += v
 	a.n++
@@ -69,144 +101,168 @@ type itemPlan struct {
 	agg      FuncCall // valid when keyIndex < 0
 }
 
-// group holds the state of one distinct key.
+// group holds the state of one distinct key (interpreter arm).
 type group struct {
 	keyVals []Value
 	accs    []aggAcc
 }
 
-// outputGrouped materialises a GROUP BY query over the selected rows. p
-// supplies the binding, the bound literal vector (WHERE parameters can leak
-// into aggregate arguments through aliases) and the bound LIMIT.
-func outputGrouped(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
-	b := p.b
-	start := time.Now()
-	// Resolve select-item aliases used as GROUP BY keys to their
-	// underlying expressions (e.g. GROUP BY cls for "classification AS cls").
-	groupBy := append([]Expr(nil), stmt.GroupBy...)
-	for k, g := range groupBy {
+// groupedPlan is the prepare-time classification of a GROUP BY statement.
+type groupedPlan struct {
+	groupBy []Expr     // alias-resolved key expressions
+	items   []itemPlan // classified select items, in select order
+	cols    []string   // output column names
+	aggs    []FuncCall // aggregate items, in select order
+
+	// Vectorized strategy: non-empty keyCol routes execution through the
+	// engine's grouped kernels with specs (parallel to aggs); empty keeps
+	// the interpreter. scratch is the engine's reusable result record —
+	// per-statement state guarded by the one-run-at-a-time plan ownership.
+	keyCol  string
+	specs   []engine.GroupedAggSpec
+	scratch engine.GroupedResult
+}
+
+// planGrouped classifies a GROUP BY statement once, at Prepare time.
+func planGrouped(b *binding, stmt *SelectStmt, mode planMode) (*groupedPlan, error) {
+	gp := &groupedPlan{}
+	// Resolve select-item aliases used as GROUP BY keys to their underlying
+	// expressions (e.g. GROUP BY cls for "classification AS cls").
+	gp.groupBy = append([]Expr(nil), stmt.GroupBy...)
+	for k, g := range gp.groupBy {
 		c, ok := g.(ColumnRef)
 		if !ok || c.Table != "" {
 			continue
 		}
 		for _, item := range stmt.Items {
 			if item.Alias != "" && strings.EqualFold(item.Alias, c.Name) {
-				groupBy[k] = item.Expr
+				gp.groupBy[k] = item.Expr
 				break
 			}
 		}
 	}
-	stmt = &SelectStmt{
-		Items: stmt.Items, From: stmt.From, Where: stmt.Where,
-		GroupBy: groupBy, Order: stmt.Order, Limit: stmt.Limit,
-	}
 	// Classify select items against the group-by list.
-	plans := make([]itemPlan, len(stmt.Items))
-	var aggItems []FuncCall
+	gp.items = make([]itemPlan, len(stmt.Items))
 	for i, item := range stmt.Items {
 		name := item.Alias
 		if name == "" {
 			name = item.Expr.exprString()
 		}
-		plans[i] = itemPlan{name: name, keyIndex: -1}
+		gp.items[i] = itemPlan{name: name, keyIndex: -1}
+		gp.cols = append(gp.cols, name)
 		if f, ok := isAggregate(item.Expr); ok {
-			plans[i].agg = f
-			aggItems = append(aggItems, f)
+			gp.items[i].agg = f
+			gp.aggs = append(gp.aggs, f)
 			continue
 		}
 		matched := false
-		for k, g := range stmt.GroupBy {
+		// Match against the alias-RESOLVED key list: an item naming the
+		// underlying column of an aliased key (GROUP BY cls for
+		// "classification AS cls") is that key.
+		for k, g := range gp.groupBy {
 			if g.exprString() == item.Expr.exprString() ||
 				(item.Alias != "" && g.exprString() == item.Alias) {
-				plans[i].keyIndex = k
+				gp.items[i].keyIndex = k
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			return nil, fmt.Errorf("sql: %q must appear in GROUP BY or be an aggregate", plans[i].name)
+			return nil, fmt.Errorf("sql: %q must appear in GROUP BY or be an aggregate", name)
 		}
 	}
+	gp.vectorize(b, mode)
+	return gp, nil
+}
 
-	// Accumulate.
-	groups := map[string]*group{}
-	ctx := &evalCtx{b: b, ps: p.params, pcRow: -1, vtRow: -1}
-	var keyBuf strings.Builder
-	for _, r := range rows {
-		setRow(ctx, isVector, r)
-		keyVals := make([]Value, len(stmt.GroupBy))
-		keyBuf.Reset()
-		for k, gexpr := range stmt.GroupBy {
-			v, err := evalExpr(ctx, gexpr)
-			if err != nil {
-				return nil, err
+// vectorize marks the plan for the engine's grouped kernels when the whole
+// statement fits their shape: point-cloud rows, exactly one key that is a
+// bare point-cloud column, and every aggregate either count(*)/count(col)
+// or sum/avg/min/max over a bare point-cloud column. Anything else — vector
+// tables, computed keys, multi-key grouping, expression arguments — keeps
+// the interpreter arm.
+func (gp *groupedPlan) vectorize(b *binding, mode planMode) {
+	if mode == planVector || b.pc == nil || len(gp.groupBy) != 1 {
+		return
+	}
+	key, ok := pcColumnName(b, gp.groupBy[0])
+	if !ok {
+		return
+	}
+	specs := make([]engine.GroupedAggSpec, 0, len(gp.aggs))
+	for _, f := range gp.aggs {
+		if len(f.Args) != 1 {
+			return
+		}
+		if _, star := f.Args[0].(Star); star {
+			if f.Name != "count" {
+				return // e.g. sum(*): the interpreter raises its error
 			}
-			keyVals[k] = v
-			keyBuf.WriteString(v.String())
-			keyBuf.WriteByte(0)
+			specs = append(specs, engine.GroupedAggSpec{Fn: engine.AggCount})
+			continue
 		}
-		key := keyBuf.String()
-		grp, ok := groups[key]
+		col, ok := pcColumnName(b, f.Args[0])
 		if !ok {
-			grp = &group{keyVals: keyVals, accs: make([]aggAcc, len(aggItems))}
-			groups[key] = grp
+			return
 		}
-		for ai, f := range aggItems {
-			acc := &grp.accs[ai]
-			if f.Name == "count" && len(f.Args) == 1 {
-				if _, isStar := f.Args[0].(Star); isStar {
-					acc.n++
-					continue
+		fn := aggFuncs[f.Name]
+		if fn == engine.AggCount {
+			// count(col) over the NULL-free flat table is the group size.
+			col = ""
+		}
+		specs = append(specs, engine.GroupedAggSpec{Fn: fn, Column: col})
+	}
+	gp.keyCol, gp.specs = key, specs
+}
+
+// execGrouped materialises a GROUP BY query over the selected rows through
+// the strategy fixed at Prepare: engine grouped kernels when the plan
+// vectorized, the row-at-a-time interpreter otherwise. Both arms emit
+// groups in the same canonical key order and share the ORDER BY/LIMIT tail.
+func execGrouped(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
+	gp := p.grouped
+	start := time.Now()
+	res := &Result{Columns: gp.cols, Explain: ex}
+	strategy := "interpreter"
+	if gp.keyCol != "" && !isVector {
+		// ex lands the engine's group.agg step (kernel strategy + timing)
+		// ahead of the SQL-layer group step below; nil on untraced runs.
+		if err := p.b.pc.GroupedAggregate(rows, gp.keyCol, gp.specs, &gp.scratch, ex); err != nil {
+			return nil, err
+		}
+		strategy = gp.scratch.Strategy
+		ks := gp.scratch.Keys
+		res.Rows = make([][]Value, 0, len(ks))
+		for i := range ks {
+			row := make([]Value, len(gp.items))
+			ai := 0
+			for j, ip := range gp.items {
+				if ip.keyIndex >= 0 {
+					row[j] = numVal(ks[i])
+				} else {
+					row[j] = numVal(gp.scratch.Cols[ai][i])
+					ai++
 				}
 			}
-			if len(f.Args) != 1 {
-				return nil, fmt.Errorf("sql: %s expects one argument", f.Name)
-			}
-			v, err := evalExpr(ctx, f.Args[0])
-			if err != nil {
-				return nil, err
-			}
-			if v.Kind != KindNum {
-				return nil, fmt.Errorf("sql: %s needs numeric input", f.Name)
-			}
-			acc.add(v.Num)
+			res.Rows = append(res.Rows, row)
+		}
+		// Engine results arrive already in FloatOrderKey order.
+	} else {
+		if err := interpretGrouped(p, gp, rows, isVector, res); err != nil {
+			return nil, err
 		}
 	}
-
-	// Emit one row per group, deterministically ordered by key string.
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
+	if ex != nil { // the Sprintf below must not run on untraced steady-state runs
+		ex.Add("group", fmt.Sprintf("%s: %d groups over %d keys", strategy, len(res.Rows), len(gp.groupBy)),
+			len(rows), len(res.Rows), time.Since(start))
 	}
-	sort.Strings(keys)
-
-	res := &Result{Explain: ex}
-	for _, p := range plans {
-		res.Columns = append(res.Columns, p.name)
-	}
-	for _, k := range keys {
-		grp := groups[k]
-		row := make([]Value, len(plans))
-		ai := 0
-		for i, p := range plans {
-			if p.keyIndex >= 0 {
-				row[i] = grp.keyVals[p.keyIndex]
-			} else {
-				row[i] = grp.accs[ai].result(p.agg.Name)
-				ai++
-			}
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	ex.Add("group", fmt.Sprintf("%d groups over %d keys", len(groups), len(stmt.GroupBy)),
-		len(rows), len(res.Rows), time.Since(start))
 
 	// ORDER BY over an output column (by alias or expression text).
 	if stmt.Order != nil {
 		col := -1
 		want := stmt.Order.Expr.exprString()
-		for i, p := range plans {
-			if p.name == want || stmt.Items[i].Expr.exprString() == want {
+		for i, ip := range gp.items {
+			if ip.name == want || stmt.Items[i].Expr.exprString() == want {
 				col = i
 				break
 			}
@@ -226,4 +282,120 @@ func outputGrouped(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex
 		res.Rows = res.Rows[:p.limit]
 	}
 	return res, nil
+}
+
+// interpretGrouped is the row-at-a-time fallback arm: evaluate the key
+// expressions and aggregate arguments per row, accumulate into a map keyed
+// by the rendered key tuple, then emit groups sorted into the same
+// canonical key order the engine kernels produce.
+func interpretGrouped(p *queryPlan, gp *groupedPlan, rows []int, isVector bool, res *Result) error {
+	groups := map[string]*group{}
+	ctx := &evalCtx{b: p.b, ps: p.params, pcRow: -1, vtRow: -1}
+	var keyBuf strings.Builder
+	// The key tuple is evaluated into a reused scratch slice and cloned only
+	// when the row opens a new group — existing groups (the common case) cost
+	// no per-row allocation.
+	keyScratch := make([]Value, len(gp.groupBy))
+	for _, r := range rows {
+		setRow(ctx, isVector, r)
+		keyBuf.Reset()
+		for k, gexpr := range gp.groupBy {
+			v, err := evalExpr(ctx, gexpr)
+			if err != nil {
+				return err
+			}
+			keyScratch[k] = v
+			keyBuf.WriteString(v.String())
+			keyBuf.WriteByte(0)
+		}
+		key := keyBuf.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = newGroup(append([]Value(nil), keyScratch...), len(gp.aggs))
+			groups[key] = grp
+		}
+		for ai, f := range gp.aggs {
+			acc := &grp.accs[ai]
+			if f.Name == "count" && len(f.Args) == 1 {
+				if _, isStar := f.Args[0].(Star); isStar {
+					acc.n++
+					continue
+				}
+			}
+			if len(f.Args) != 1 {
+				return fmt.Errorf("sql: %s expects one argument", f.Name)
+			}
+			v, err := evalExpr(ctx, f.Args[0])
+			if err != nil {
+				return err
+			}
+			if v.Kind != KindNum {
+				return fmt.Errorf("sql: %s needs numeric input", f.Name)
+			}
+			acc.add(v.Num)
+		}
+	}
+
+	// Emit one row per group in canonical key order.
+	ordered := make([]*group, 0, len(groups))
+	for _, grp := range groups {
+		ordered = append(ordered, grp)
+	}
+	sort.Slice(ordered, func(a, c int) bool {
+		return groupKeyLess(ordered[a].keyVals, ordered[c].keyVals)
+	})
+	res.Rows = make([][]Value, 0, len(ordered))
+	for _, grp := range ordered {
+		row := make([]Value, len(gp.items))
+		ai := 0
+		for i, ip := range gp.items {
+			if ip.keyIndex >= 0 {
+				row[i] = grp.keyVals[ip.keyIndex]
+			} else {
+				row[i] = grp.accs[ai].result(ip.agg.Name)
+				ai++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return nil
+}
+
+// newGroup seeds a group's accumulators (±Inf min/max, see aggAcc.add).
+func newGroup(keyVals []Value, naggs int) *group {
+	g := &group{keyVals: keyVals, accs: make([]aggAcc, naggs)}
+	for i := range g.accs {
+		g.accs[i].lo = math.Inf(1)
+		g.accs[i].hi = math.Inf(-1)
+	}
+	return g
+}
+
+// groupKeyLess orders two key tuples in the canonical grouped-output order:
+// element-wise, numbers by the engine's FloatOrderKey total order (so both
+// execution arms agree on NaN and ±0 placement), strings lexically, other
+// kinds by their rendering.
+func groupKeyLess(a, b []Value) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		switch {
+		case a[i].Kind == KindNum && b[i].Kind == KindNum:
+			ka, kb := engine.FloatOrderKey(a[i].Num), engine.FloatOrderKey(b[i].Num)
+			if ka != kb {
+				return ka < kb
+			}
+		case a[i].Kind == KindStr && b[i].Kind == KindStr:
+			if a[i].Str != b[i].Str {
+				return a[i].Str < b[i].Str
+			}
+		default:
+			sa, sb := a[i].String(), b[i].String()
+			if sa != sb {
+				return sa < sb
+			}
+		}
+	}
+	return false
 }

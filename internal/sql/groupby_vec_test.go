@@ -1,0 +1,192 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gisnav/internal/engine"
+	"gisnav/internal/las"
+)
+
+// nanDB builds a database whose point cloud holds the adversarial grouped
+// inputs: NaN values in z, a float key column with NaN/-0/+Inf (gps_time),
+// a >256-value u16 key (intensity), and a u8 class key.
+func nanDB(t *testing.T, n int) (*Executor, *engine.PointCloud) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	gpsPalette := []float64{math.NaN(), math.Copysign(0, -1), 0, -7.25, 42.5, math.Inf(1)}
+	pts := make([]las.Point, n)
+	for i := range pts {
+		z := rng.Float64()*120 - 30
+		if rng.Intn(29) == 0 {
+			z = math.NaN()
+		}
+		pts[i] = las.Point{
+			X: rng.Float64() * 1000, Y: rng.Float64() * 1000, Z: z,
+			Intensity:      uint16(rng.Intn(900)),
+			Classification: uint8(rng.Intn(11)),
+			GPSTime:        gpsPalette[rng.Intn(len(gpsPalette))],
+		}
+	}
+	pc := engine.NewPointCloud()
+	pc.AppendLAS(pts)
+	db := engine.NewDB()
+	db.RegisterPointCloud("cloud", pc)
+	return New(db), pc
+}
+
+// resultRowsEqual compares two results row-by-row through the display
+// rendering, which distinguishes every group identity the engine does
+// (NaN renders once, -0 renders as -0).
+func resultRowsEqual(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if strings.Join(got.Columns, ",") != strings.Join(want.Columns, ",") {
+		t.Fatalf("%s: columns %v vs %v", label, got.Columns, want.Columns)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows vs %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		for j := range got.Rows[i] {
+			if got.Rows[i][j].String() != want.Rows[i][j].String() {
+				t.Fatalf("%s: row %d col %d: %s vs %s",
+					label, i, j, got.Rows[i][j].String(), want.Rows[i][j].String())
+			}
+		}
+	}
+}
+
+// TestGroupedVectorizedMatchesInterpreter is the equivalence property of the
+// PR 5 tentpole: for every classifiable grouped statement, the engine's
+// grouped kernels (dense and hash) must produce exactly the rows the
+// row-at-a-time interpreter produces — including NaN keys and values, empty
+// groups carved out by WHERE, >256-key domains, and random selection
+// shapes. The interpreter arm runs on the same prepared plan with the
+// vectorized route disabled, so the two arms share planning and filtering.
+func TestGroupedVectorizedMatchesInterpreter(t *testing.T) {
+	e, _ := nanDB(t, 50000)
+	rng := rand.New(rand.NewSource(17))
+	queries := []string{
+		// Dense u8 key, full aggregate mix incl count(col).
+		"SELECT classification, count(*) AS n, count(z), sum(z), avg(z), min(z), max(intensity) FROM cloud GROUP BY classification",
+		// Dense u8 key under a narrowing WHERE (empty groups drop out).
+		"SELECT classification, count(*) FROM cloud WHERE intensity < 40 GROUP BY classification",
+		// u16 key with >256 distinct values; the full table takes the dense
+		// 64K bank, the narrowed selection the hash table.
+		"SELECT intensity, count(*), avg(z) FROM cloud GROUP BY intensity",
+		"SELECT intensity, count(*), avg(z) FROM cloud WHERE z > 25 GROUP BY intensity",
+		// Float key with NaN, -0 and +Inf groups; NaN values inside groups.
+		"SELECT gps_time, count(*), sum(z), min(z), max(z) FROM cloud GROUP BY gps_time",
+		"SELECT gps_time, avg(z) FROM cloud WHERE classification <> 3 GROUP BY gps_time",
+		// Aliased key, ORDER BY + LIMIT tail shared by both arms.
+		"SELECT classification AS cls, count(*) AS n FROM cloud GROUP BY cls ORDER BY n DESC LIMIT 4",
+		// No aggregates at all: DISTINCT-style key emission on both paths.
+		"SELECT classification FROM cloud GROUP BY classification",
+		"SELECT gps_time FROM cloud GROUP BY gps_time",
+	}
+	// Random spatial selections drive random selection vectors through both
+	// arms (grid region → pooled row sets).
+	for i := 0; i < 4; i++ {
+		x0, y0 := rng.Float64()*800, rng.Float64()*800
+		queries = append(queries, fmt.Sprintf(
+			"SELECT classification, count(*), avg(z) FROM cloud WHERE ST_Contains(ST_MakeEnvelope(%g, %g, %g, %g), ST_Point(x, y)) GROUP BY classification",
+			x0, y0, x0+rng.Float64()*200, y0+rng.Float64()*200))
+	}
+	for _, q := range queries {
+		pq, err := e.Prepare(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if pq.plan.grouped.keyCol == "" {
+			t.Fatalf("%s: did not vectorize; the equivalence check is vacuous", q)
+		}
+		vec, err := pq.Run()
+		if err != nil {
+			t.Fatalf("%s (vectorized): %v", q, err)
+		}
+		pq.plan.grouped.keyCol = "" // disable the engine route on the same plan
+		interp, err := pq.Run()
+		if err != nil {
+			t.Fatalf("%s (interpreter): %v", q, err)
+		}
+		resultRowsEqual(t, q, vec, interp)
+	}
+}
+
+// TestGroupedStrategyExplain pins the EXPLAIN "group" step to the strategy
+// that actually ran: dense for the u8 class key, hash for a float key,
+// interpreter for a vector-table key.
+func TestGroupedStrategyExplain(t *testing.T) {
+	e, _ := nanDB(t, 20000)
+	groupDetail := func(q string) string {
+		t.Helper()
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for _, s := range res.Explain.Steps {
+			if s.Op == "group" {
+				return s.Detail
+			}
+		}
+		t.Fatalf("%s: no group step in trace", q)
+		return ""
+	}
+	if d := groupDetail("SELECT classification, count(*) FROM cloud GROUP BY classification"); !strings.HasPrefix(d, "dense:") {
+		t.Fatalf("u8 key reported %q, want dense", d)
+	}
+	if d := groupDetail("SELECT gps_time, count(*) FROM cloud GROUP BY gps_time"); !strings.HasPrefix(d, "hash:") {
+		t.Fatalf("float key reported %q, want hash", d)
+	}
+
+	es, _, _, _ := testDB(t)
+	if d := func() string {
+		res := mustQuery(t, es, "SELECT class, count(*) FROM ua GROUP BY class")
+		for _, s := range res.Explain.Steps {
+			if s.Op == "group" {
+				return s.Detail
+			}
+		}
+		return ""
+	}(); !strings.HasPrefix(d, "interpreter:") {
+		t.Fatalf("vector-table key reported %q, want interpreter", d)
+	}
+}
+
+// TestGroupedReboundMatchesFreshPrepare extends the PR 4 rebind property to
+// grouped plans: a shape hit whose literal vector changed re-binds the
+// cached skeleton, and the rebound grouped run must equal a fresh Prepare
+// of the new text exactly.
+func TestGroupedReboundMatchesFreshPrepare(t *testing.T) {
+	e, _ := nanDB(t, 30000)
+	template := "SELECT classification, count(*) AS n, avg(z) FROM cloud WHERE ST_Contains(ST_MakeEnvelope(%g, %g, %g, %g), ST_Point(x, y)) AND intensity > %g GROUP BY classification"
+	qA := fmt.Sprintf(template, 100.0, 100.0, 600.0, 700.0, 50.0)
+	qB := fmt.Sprintf(template, 250.0, 180.0, 900.0, 860.0, 325.0)
+
+	if _, err := e.Query(qA); err != nil {
+		t.Fatal(err)
+	}
+	before := e.StmtCacheStats()
+	rebound, err := e.Query(qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := e.StmtCacheStats()
+	if after.ShapeHits != before.ShapeHits+1 || after.Rebinds != before.Rebinds+1 {
+		t.Fatalf("literal-only change did not rebind: %+v -> %+v", before, after)
+	}
+
+	fresh, _ := nanDB(t, 30000) // identical dataset, cold executor
+	pq, err := fresh.Prepare(qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pq.RunTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultRowsEqual(t, "rebound vs fresh", rebound, want)
+}

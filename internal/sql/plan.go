@@ -138,11 +138,16 @@ type queryPlan struct {
 	joinConj Expr
 
 	// Output phase. limit is the bound LIMIT (-1 when absent), resolved
-	// from the literal vector when the statement parameterised it.
-	out   outMode
-	cols  []string
-	exprs []Expr
-	limit int
+	// from the literal vector when the statement parameterised it. grouped
+	// is the prepare-time GROUP BY classification (groupby.go), present only
+	// for outGrouped plans; it derives nothing from the literal vector
+	// (GROUP BY/SELECT-list literals stay inline by policy), so rebind
+	// leaves it untouched.
+	out     outMode
+	cols    []string
+	exprs   []Expr
+	limit   int
+	grouped *groupedPlan
 }
 
 // PreparedQuery is a statement prepared for repeated execution: parse,
@@ -474,6 +479,12 @@ func classifyJoinPredicate(b *binding, ps []Value, conj Expr) (joinKind, float64
 func (p *queryPlan) planOutput(stmt *SelectStmt) error {
 	if len(stmt.GroupBy) > 0 {
 		p.out = outGrouped
+		gp, err := planGrouped(p.b, stmt, p.mode)
+		if err != nil {
+			return err
+		}
+		p.grouped = gp
+		p.cols = gp.cols
 		return nil
 	}
 	aggCount := 0

@@ -298,7 +298,7 @@ func (pq *PreparedQuery) output(p *queryPlan, rows []int, ex *engine.Explain) (*
 	stmt := pq.stmt
 	switch p.out {
 	case outGrouped:
-		return outputGrouped(p, stmt, rows, isVector, ex)
+		return execGrouped(p, stmt, rows, isVector, ex)
 	case outAggregate:
 		return outputAggregates(p, stmt, rows, isVector, ex)
 	}

@@ -65,6 +65,35 @@ func TestPreparedVectorSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestPreparedGroupedSteadyStateAllocs pins the vectorized dense-path
+// grouped run (PR 5) to its result materialisation: the engine side —
+// grouped kernels, pooled accumulator banks, the plan-held result record —
+// allocates nothing, so a steady run may allocate only the Result, its row
+// list, and one []Value per group.
+func TestPreparedGroupedSteadyStateAllocs(t *testing.T) {
+	e, _, _, _ := testDB(t)
+	q := `SELECT classification, count(*) AS n, avg(z) AS mean_z, min(z), max(intensity) FROM ahn2
+		WHERE ST_Contains(ST_MakeEnvelope(150, 150, 1700, 1620), ST_Point(x, y))
+		GROUP BY classification`
+	pq, err := e.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.plan.grouped.keyCol == "" {
+		t.Fatal("grouped statement did not vectorize; the guard is vacuous")
+	}
+	allocs, rows := runSteady(t, e, q)
+	if rows == 0 {
+		t.Fatal("grouped query matched no groups; the measurement is vacuous")
+	}
+	// Budget: Result + row-list + one []Value per group row.
+	budget := float64(2 + rows)
+	if allocs > budget {
+		t.Fatalf("prepared dense grouped run allocates %.1f objects/op for %d groups, budget %.0f (result only)",
+			allocs, rows, budget)
+	}
+}
+
 // TestPreparedProjectionSteadyStateAllocs pins the projection path to its
 // result materialisation: one Result, one []Value per emitted row, and the
 // logarithmic growth appends of the row list.
