@@ -43,6 +43,21 @@ type cacheRecord struct {
 	PlanKernelCompiles uint64 `json:"plan_kernel_compiles"`
 }
 
+// execRecord snapshots the executor's query-lifecycle counters after one
+// experiment (PR 6): admission-gate traffic, sheds, cancellations,
+// deadline expiries, recovered panics, and the run-latency estimate the
+// deadline shedding compares against.
+type execRecord struct {
+	Experiment       string `json:"experiment"`
+	MaxInFlight      int    `json:"max_in_flight"`
+	Admitted         uint64 `json:"admitted"`
+	Shed             uint64 `json:"shed"`
+	Cancelled        uint64 `json:"cancelled"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	Panicked         uint64 `json:"panicked"`
+	EWMARunNanos     int64  `json:"ewma_run_nanos"`
+}
+
 // jsonReport accumulates records across experiments and serialises them.
 type jsonReport struct {
 	Dataset struct {
@@ -52,6 +67,7 @@ type jsonReport struct {
 	GeneratedAt string        `json:"generated_at"`
 	Records     []jsonRecord  `json:"records"`
 	CacheStats  []cacheRecord `json:"cache_stats,omitempty"`
+	ExecStats   []execRecord  `json:"exec_stats,omitempty"`
 }
 
 // add appends one measurement.
@@ -97,6 +113,20 @@ func (r *jsonReport) addCache(experiment string, ss sql.StmtCacheStats, ps engin
 		PlanKernelsCached:  ps.Entries,
 		PlanKernelHits:     ps.Hits,
 		PlanKernelCompiles: ps.Misses,
+	})
+}
+
+// addExec appends one experiment's lifecycle-counter snapshot.
+func (r *jsonReport) addExec(experiment string, st sql.ExecStats) {
+	r.ExecStats = append(r.ExecStats, execRecord{
+		Experiment:       experiment,
+		MaxInFlight:      st.MaxInFlight,
+		Admitted:         st.Admitted,
+		Shed:             st.Shed,
+		Cancelled:        st.Cancelled,
+		DeadlineExceeded: st.DeadlineExceeded,
+		Panicked:         st.Panicked,
+		EWMARunNanos:     st.EWMARunNanos,
 	})
 }
 

@@ -1,0 +1,52 @@
+package cancel
+
+import (
+	"testing"
+)
+
+func TestNilToken(t *testing.T) {
+	var tok *Token
+	if tok.Cancelled() {
+		t.Fatal("nil token reports cancelled")
+	}
+	var zero Token
+	if zero.Cancelled() {
+		t.Fatal("zero token reports cancelled")
+	}
+}
+
+func TestTokenFiresAndLatches(t *testing.T) {
+	done := make(chan struct{})
+	var tok Token
+	tok.Reset(done)
+	if tok.Cancelled() {
+		t.Fatal("unfired token reports cancelled")
+	}
+	close(done)
+	if !tok.Cancelled() {
+		t.Fatal("fired token not cancelled")
+	}
+	// Latched: the cached verdict answers without touching the channel.
+	if !tok.Cancelled() {
+		t.Fatal("verdict did not latch")
+	}
+	// Reset rebinds and clears the latch.
+	tok.Reset(nil)
+	if tok.Cancelled() {
+		t.Fatal("reset token still cancelled")
+	}
+}
+
+func TestCancelledAllocationFree(t *testing.T) {
+	done := make(chan struct{})
+	var tok Token
+	tok.Reset(done)
+	if a := testing.AllocsPerRun(100, func() { tok.Cancelled() }); a != 0 {
+		t.Fatalf("Cancelled allocates %.1f/op before firing", a)
+	}
+	close(done)
+	tok.Cancelled()
+	if a := testing.AllocsPerRun(100, func() { tok.Cancelled() }); a != 0 {
+		t.Fatalf("Cancelled allocates %.1f/op after firing", a)
+	}
+}

@@ -93,6 +93,14 @@ func (db *DB) IsPointCloud(name string) bool {
 // feature geometries fuse into one region so the imprint filter and the
 // refinement grid run a single pass.
 func (db *DB) PointsNearFeatures(pc *PointCloud, vt *VectorTable, featRows []int, d float64) Selection {
+	return db.PointsNearFeaturesRun(nil, pc, vt, featRows, d)
+}
+
+// PointsNearFeaturesRun is PointsNearFeatures under a query lifecycle:
+// the selection spatial pass registers its pooled buffers in run's
+// release list and honours the run's cancellation token (see
+// SelectRegionRun).
+func (db *DB) PointsNearFeaturesRun(run *Run, pc *PointCloud, vt *VectorTable, featRows []int, d float64) Selection {
 	ex := &Explain{}
 	start := time.Now()
 	coll := vt.CollectGeometries(featRows)
@@ -105,7 +113,7 @@ func (db *DB) PointsNearFeatures(pc *PointCloud, vt *VectorTable, featRows []int
 		// full-table match.
 		return Selection{Rows: []int{}, Explain: ex}
 	}
-	sel := pc.SelectRegion(region)
+	sel := pc.SelectRegionRun(run, region)
 	ex.Steps = append(ex.Steps, sel.Explain.Steps...)
 	sel.Explain = ex
 	return sel
@@ -114,6 +122,12 @@ func (db *DB) PointsNearFeatures(pc *PointCloud, vt *VectorTable, featRows []int
 // PointsInFeatures selects point-cloud rows inside any geometry of the
 // vector row set (containment join).
 func (db *DB) PointsInFeatures(pc *PointCloud, vt *VectorTable, featRows []int) Selection {
+	return db.PointsInFeaturesRun(nil, pc, vt, featRows)
+}
+
+// PointsInFeaturesRun is PointsInFeatures under a query lifecycle (see
+// PointsNearFeaturesRun).
+func (db *DB) PointsInFeaturesRun(run *Run, pc *PointCloud, vt *VectorTable, featRows []int) Selection {
 	ex := &Explain{}
 	start := time.Now()
 	coll := vt.CollectGeometries(featRows)
@@ -126,7 +140,7 @@ func (db *DB) PointsInFeatures(pc *PointCloud, vt *VectorTable, featRows []int) 
 		// full-table match.
 		return Selection{Rows: []int{}, Explain: ex}
 	}
-	sel := pc.SelectRegion(region)
+	sel := pc.SelectRegionRun(run, region)
 	ex.Steps = append(ex.Steps, sel.Explain.Steps...)
 	sel.Explain = ex
 	return sel

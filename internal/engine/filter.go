@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"gisnav/internal/cancel"
+	"gisnav/internal/faultpoint"
 )
 
 // CmpOp is a comparison operator for thematic column predicates.
@@ -91,40 +94,71 @@ func (p ColumnPred) String() string {
 // returned unchanged (or an all-rows vector when rows is nil). Callers that
 // are done with a returned vector may hand it back via RecycleRows.
 func (pc *PointCloud) FilterRows(rows []int, preds []ColumnPred, ex *Explain) ([]int, error) {
+	return pc.FilterRowsRun(nil, rows, preds, ex)
+}
+
+// FilterRowsRun is FilterRows under a query lifecycle: owned buffers are
+// registered in run's release list (so a panic anywhere below unwinds
+// without leaking them), each predicate pass polls the run's cancellation
+// token at block boundaries, and a fired token surfaces as
+// cancel.ErrCancelled with the owned buffer already recycled. A nil run
+// behaves exactly like FilterRows.
+func (pc *PointCloud) FilterRowsRun(run *Run, rows []int, preds []ColumnPred, ex *Explain) ([]int, error) {
 	owned := false
 	for _, pred := range preds {
+		if err := faultpoint.Hit("engine.filter.block"); err != nil {
+			if owned {
+				run.RecycleRows(rows)
+			}
+			return nil, err
+		}
+		if run.Cancelled() {
+			if owned {
+				run.RecycleRows(rows)
+			}
+			return nil, cancel.ErrCancelled
+		}
 		col := pc.Column(pred.Column)
 		if col == nil {
 			if owned {
-				RecycleRows(rows)
+				run.RecycleRows(rows)
 			}
 			return nil, fmt.Errorf("engine: unknown column %q", pred.Column)
 		}
 		k := pc.compileFilterCached(col, pred.Column, pred.Op)
 		// Bind the run's constants into the per-run slot record; the cached
-		// kernel itself is constant-free (see kernels.go).
+		// kernel itself is constant-free (see kernels.go). The cancellation
+		// token rides in the args record so the chunk driver can poll it.
 		a := k.Bind(pred.Value, pred.Value2)
+		a.tok = run.Token()
 		start := time.Now()
 		switch {
 		case rows == nil:
 			// First predicate over the whole table: run the block kernel
-			// directly instead of materialising an identity vector.
-			rows = k.FilterBlock(a, 0, pc.Len(), getRowBuf(pc.predHint(pred)))
+			// directly instead of materialising an identity vector. The
+			// buffer is tracked before the call (a panic mid-kernel must
+			// not strand it) and swapped for the final slice after —
+			// FilterBlock may grow (and so reallocate) what it was handed.
+			buf := run.TrackRows(getRowBuf(pc.predHint(pred)))
+			rows = run.SwapRows(buf, k.FilterBlock(a, 0, pc.Len(), buf))
 			owned = true
 			if ex != nil {
 				ex.Add(opFilterColumn, pred.String(), pc.Len(), len(rows), time.Since(start))
 			}
 		case !owned:
 			// Copy-on-first-write: the caller keeps its slice untouched.
+			// Same track-then-swap discipline as the block arm.
 			in := len(rows)
-			rows = k.FilterSel(a, rows, getRowBuf(in))
+			buf := run.TrackRows(getRowBuf(in))
+			rows = run.SwapRows(buf, k.FilterSel(a, rows, buf))
 			owned = true
 			if ex != nil {
 				ex.Add(opFilterColumn, pred.String(), in, len(rows), time.Since(start))
 			}
 		default:
 			// We own the buffer now; compact in place (the write index
-			// never overtakes the read index).
+			// never overtakes the read index, and the backing array never
+			// grows, so the release-list identity holds).
 			in := len(rows)
 			rows = k.FilterSel(a, rows, rows[:0])
 			if ex != nil {
@@ -132,9 +166,19 @@ func (pc *PointCloud) FilterRows(rows []int, preds []ColumnPred, ex *Explain) ([
 			}
 		}
 	}
+	if run.Cancelled() {
+		// The token may have fired inside the last kernel, leaving a
+		// partial vector — never hand partial results to the caller.
+		if owned {
+			run.RecycleRows(rows)
+		}
+		return nil, cancel.ErrCancelled
+	}
 	if rows == nil {
-		// No predicates over a nil selection: all rows, as before.
-		rows = getRowBuf(pc.Len())
+		// No predicates over a nil selection: all rows, as before. The
+		// capacity hint covers every append, so tracking at acquisition is
+		// safe.
+		rows = run.AcquireRows(pc.Len())
 		for i, n := 0, pc.Len(); i < n; i++ {
 			rows = append(rows, i)
 		}

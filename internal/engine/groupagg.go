@@ -36,7 +36,9 @@ import (
 	"math"
 	"time"
 
+	"gisnav/internal/cancel"
 	"gisnav/internal/colstore"
+	"gisnav/internal/faultpoint"
 )
 
 // GroupedAggSpec is one requested aggregate of a grouped run. Column names
@@ -115,6 +117,30 @@ const denseMinRowsPerSlot = 4
 // engine's striped pools; with res reused across calls, a steady-state run
 // allocates nothing.
 func (pc *PointCloud) GroupedAggregate(rows []int, key string, specs []GroupedAggSpec, res *GroupedResult, ex *Explain) error {
+	return pc.GroupedAggregateRun(nil, rows, key, specs, res, ex)
+}
+
+// groupPassCheckpoint is the block boundary between grouped-aggregation
+// passes (this layer executes operator-at-a-time, so "block" here is one
+// full accumulate pass): a fault-injection point plus one cancellation
+// poll. Pooled scratch is recycled by the caller before the error
+// propagates.
+func groupPassCheckpoint(run *Run) error {
+	if err := faultpoint.Hit("engine.groupagg.pass"); err != nil {
+		return err
+	}
+	if run.Cancelled() {
+		return cancel.ErrCancelled
+	}
+	return nil
+}
+
+// GroupedAggregateRun is GroupedAggregate under a query lifecycle: the
+// pooled accumulator banks and hash scratch register in run's release
+// list, and the pass boundaries poll the run's cancellation token — a
+// fired context stops the aggregation between passes with every buffer
+// back in its pool and res in an unspecified (but safe to reuse) state.
+func (pc *PointCloud) GroupedAggregateRun(run *Run, rows []int, key string, specs []GroupedAggSpec, res *GroupedResult, ex *Explain) error {
 	start := time.Now()
 	keyCol := pc.Column(key)
 	if keyCol == nil {
@@ -142,18 +168,26 @@ func (pc *PointCloud) GroupedAggregate(rows []int, key string, specs []GroupedAg
 
 	switch k := keyCol.(type) {
 	case *colstore.U8Column:
-		denseGrouped(pc, k.Values(), 1<<8, rows, all, n, specs, res)
+		if err := denseGrouped(run, pc, k.Values(), 1<<8, rows, all, n, specs, res); err != nil {
+			return err
+		}
 		res.Strategy = GroupDense
 	case *colstore.U16Column:
 		if n >= (1<<16)/denseMinRowsPerSlot {
-			denseGrouped(pc, k.Values(), 1<<16, rows, all, n, specs, res)
+			if err := denseGrouped(run, pc, k.Values(), 1<<16, rows, all, n, specs, res); err != nil {
+				return err
+			}
 			res.Strategy = GroupDense
 			break
 		}
-		hashGrouped(pc, keyCol, rows, all, n, specs, res)
+		if err := hashGrouped(run, pc, keyCol, rows, all, n, specs, res); err != nil {
+			return err
+		}
 		res.Strategy = GroupHash
 	default:
-		hashGrouped(pc, keyCol, rows, all, n, specs, res)
+		if err := hashGrouped(run, pc, keyCol, rows, all, n, specs, res); err != nil {
+			return err
+		}
 		res.Strategy = GroupHash
 	}
 	if ex != nil {
@@ -174,14 +208,22 @@ type denseKey interface {
 // per aggregate (plus the shared count bank), one column-at-a-time pass per
 // aggregate, then an ascending domain scan emits the non-empty groups — the
 // keys therefore come out already in FloatOrderKey order.
-func denseGrouped[K denseKey](pc *PointCloud, keys []K, dom int, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult) {
-	banks := getF64Buf(dom * (1 + len(specs)))[:dom*(1+len(specs))]
+func denseGrouped[K denseKey](run *Run, pc *PointCloud, keys []K, dom int, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult) error {
+	banks := run.trackF64(getF64Buf(dom * (1 + len(specs))))[:dom*(1+len(specs))]
+	if err := groupPassCheckpoint(run); err != nil {
+		run.recycleF64(banks)
+		return err
+	}
 	cnt := banks[:dom]
 	for i := range cnt {
 		cnt[i] = 0
 	}
 	denseCount(keys, rows, all, cnt)
 	for j, s := range specs {
+		if err := groupPassCheckpoint(run); err != nil {
+			run.recycleF64(banks)
+			return err
+		}
 		bank := banks[(1+j)*dom : (2+j)*dom]
 		switch s.Fn {
 		case AggCount:
@@ -220,7 +262,8 @@ func denseGrouped[K denseKey](pc *PointCloud, keys []K, dom int, rows []int, all
 			res.Cols[j] = append(res.Cols[j], v)
 		}
 	}
-	recycleF64(banks)
+	run.recycleF64(banks)
+	return nil
 }
 
 // denseCount is the group-size pass: one increment per selected row into the
@@ -400,11 +443,16 @@ func (g *groupHash) grow() {
 // counting group sizes; each aggregate then runs one re-hash-free
 // scatter-accumulate pass over the slot vector. Groups are emitted in
 // first-appearance order and sorted into FloatOrderKey order at the end.
-func hashGrouped(pc *PointCloud, keyCol colstore.Column, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult) {
+func hashGrouped(run *Run, pc *PointCloud, keyCol colstore.Column, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult) error {
 	tabSize := 1 << 10
 	for tabSize < 4*n && tabSize < 1<<20 {
 		tabSize <<= 1
 	}
+	// table, keys and cnt all grow during pass 0 (table through grow(),
+	// keys/cnt through slotOf's appends), which reallocates their backing
+	// arrays — so they register in the release list only after the pass
+	// (track-after-production). slots has a fixed bound and tracks at
+	// acquisition.
 	g := groupHash{
 		table: getRowBuf(tabSize)[:tabSize],
 		keys:  getF64Buf(64),
@@ -413,12 +461,23 @@ func hashGrouped(pc *PointCloud, keyCol colstore.Column, rows []int, all bool, n
 	for i := range g.table {
 		g.table[i] = 0
 	}
-	slots := getRowBuf(n)[:n]
+	slots := run.TrackRows(getRowBuf(n))[:n]
 	hashKeyCol(keyCol, rows, all, &g, slots)
+	run.TrackRows(g.table)
+	run.trackF64(g.keys)
+	run.trackF64(g.cnt)
 
 	groups := len(g.keys)
-	bank := getF64Buf(groups)
+	bank := run.trackF64(getF64Buf(groups))
 	for j, s := range specs {
+		if err := groupPassCheckpoint(run); err != nil {
+			run.recycleF64(bank)
+			run.recycleF64(g.keys)
+			run.recycleF64(g.cnt)
+			run.RecycleRows(g.table)
+			run.RecycleRows(slots)
+			return err
+		}
 		bank = bank[:groups]
 		switch s.Fn {
 		case AggCount:
@@ -446,12 +505,13 @@ func hashGrouped(pc *PointCloud, keyCol colstore.Column, rows []int, all bool, n
 		res.Cols[j] = append(res.Cols[j], bank...)
 	}
 	res.Keys = append(res.Keys, g.keys...)
-	recycleF64(bank)
-	recycleF64(g.keys)
-	recycleF64(g.cnt)
-	RecycleRows(g.table)
-	RecycleRows(slots)
+	run.recycleF64(bank)
+	run.recycleF64(g.keys)
+	run.recycleF64(g.cnt)
+	run.RecycleRows(g.table)
+	run.RecycleRows(slots)
 	sortGrouped(res)
+	return nil
 }
 
 // hashKeyCol dispatches pass 0 to the key column's concrete type.

@@ -33,7 +33,9 @@ package engine
 import (
 	"math"
 
+	"gisnav/internal/cancel"
 	"gisnav/internal/colstore"
+	"gisnav/internal/faultpoint"
 )
 
 // KernelArgs is the per-run constant-slot record of one compiled kernel:
@@ -42,10 +44,17 @@ import (
 // produced by Kernel.Bind and passed BY VALUE through the filter entry
 // points — no pointer, so per-query binding never escapes to the heap and
 // the zero-allocation steady state survives.
+//
+// tok is the run's cooperative cancellation token, set by the filter entry
+// points after Bind (Bind itself stays a pure function of the constants).
+// The chunk driver polls it once per scanChunk block — a nil-check plus one
+// relaxed atomic load on the uncancellable paths — so a fired context stops
+// a scan within one block without per-row cost.
 type KernelArgs struct {
 	f1, f2 float64  // float-domain predicate constants
 	i1, i2 int64    // normalised integer bounds [i1, i2] (bind-time)
 	shape  intShape // normalised integer-domain shape (bind-time)
+	tok    *cancel.Token
 }
 
 // blockFn appends the row ids in [lo, hi) that satisfy the compiled
@@ -206,6 +215,13 @@ func chunkKernel(n int, bind bindFn, cb chunkBlockFn, cs chunkSelFn) *Kernel {
 				hi = n
 			}
 			for lo < hi {
+				// Cancellation is polled per block, never per row; a fired
+				// token returns the partial vector and the caller maps the
+				// token state to the context error.
+				if a.tok.Cancelled() {
+					return out
+				}
+				_ = faultpoint.Hit("engine.kernel.chunk")
 				end := min(lo+scanChunk, hi)
 				cn := end - lo
 				if cap(out)-len(out) < cn {
@@ -219,6 +235,10 @@ func chunkKernel(n int, bind bindFn, cb chunkBlockFn, cs chunkSelFn) *Kernel {
 		},
 		FilterSel: func(a KernelArgs, rows, out []int) []int {
 			for base := 0; base < len(rows); base += scanChunk {
+				if a.tok.Cancelled() {
+					return out
+				}
+				_ = faultpoint.Hit("engine.kernel.chunk")
 				end := min(base+scanChunk, len(rows))
 				cn := end - base
 				if cap(out)-len(out) < cn {
@@ -784,7 +804,12 @@ func genericKernel(col colstore.Column, op CmpOp) *Kernel {
 			if n := col.Len(); hi > n {
 				hi = n
 			}
+			// Block-granular cancellation, like the typed chunk driver; the
+			// per-row interface dispatch dwarfs the masked counter check.
 			for i := lo; i < hi; i++ {
+				if (i-lo)%scanChunk == 0 && a.tok.Cancelled() {
+					return out
+				}
 				if pred.Matches(col.Value(i)) {
 					out = append(out, i)
 				}
@@ -793,7 +818,10 @@ func genericKernel(col colstore.Column, op CmpOp) *Kernel {
 		},
 		FilterSel: func(a KernelArgs, rows, out []int) []int {
 			pred := ColumnPred{Op: op, Value: a.f1, Value2: a.f2}
-			for _, r := range rows {
+			for i, r := range rows {
+				if i%scanChunk == 0 && a.tok.Cancelled() {
+					return out
+				}
 				if pred.Matches(col.Value(r)) {
 					out = append(out, r)
 				}

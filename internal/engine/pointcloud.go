@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gisnav/internal/colstore"
+	"gisnav/internal/faultpoint"
 	"gisnav/internal/geom"
 	"gisnav/internal/grid"
 	"gisnav/internal/imprints"
@@ -245,8 +246,17 @@ func (pc *PointCloud) SelectDWithin(g geom.Geometry, d float64) Selection {
 //  2. refine — the regular grid classifies cells against the region and
 //     only boundary cells fall back to exact point tests.
 func (pc *PointCloud) SelectRegion(region grid.Region) Selection {
+	return pc.SelectRegionRun(nil, region)
+}
+
+// SelectRegionRun is SelectRegion under a query lifecycle: the selection
+// vector and candidate-range scratch register in run's release list, and
+// refinement polls the run's cancellation token per candidate block. A
+// fired token returns a partial selection — callers that passed a live
+// run must check run.Cancelled() and discard it.
+func (pc *PointCloud) SelectRegionRun(run *Run, region grid.Region) Selection {
 	ex := &Explain{}
-	rows, st := pc.selectRegionRows(region, ex)
+	rows, st := pc.selectRegionRows(run, region, ex)
 	return Selection{Rows: rows, Explain: ex, Refine: st}
 }
 
@@ -259,13 +269,22 @@ func (pc *PointCloud) SelectRegion(region grid.Region) Selection {
 // vectors are pooled, goroutine scaffolding is not.) The returned vector
 // is pooled; hand it back with RecycleRows when done.
 func (pc *PointCloud) SelectRegionRows(region grid.Region) []int {
-	rows, _ := pc.selectRegionRows(region, nil)
+	rows, _ := pc.selectRegionRows(nil, region, nil)
+	return rows
+}
+
+// SelectRegionRowsRun is SelectRegionRows under a query lifecycle (see
+// SelectRegionRun): pooled buffers register in run's release list and the
+// refinement loop honours the run's cancellation token. On cancellation
+// the returned vector is partial; check run.Cancelled().
+func (pc *PointCloud) SelectRegionRowsRun(run *Run, region grid.Region) []int {
+	rows, _ := pc.selectRegionRows(run, region, nil)
 	return rows
 }
 
 // selectRegionRows is the shared filter–refine core; ex may be nil, in
 // which case no trace (and none of its formatting allocations) is produced.
-func (pc *PointCloud) selectRegionRows(region grid.Region, ex *Explain) ([]int, grid.Stats) {
+func (pc *PointCloud) selectRegionRows(run *Run, region grid.Region, ex *Explain) ([]int, grid.Stats) {
 	env := region.Envelope()
 	if env.IsEmpty() || pc.Len() == 0 {
 		if ex != nil {
@@ -282,24 +301,30 @@ func (pc *PointCloud) selectRegionRows(region grid.Region, ex *Explain) ([]int, 
 	imX, imY := pc.imprintsXY()
 
 	start := time.Now()
-	cand := candidateRangesXY(imX, imY, env)
+	cand := candidateRangesXY(run, imX, imY, env)
 	if ex != nil {
 		ex.Add(opImprintsFilter,
 			fmt.Sprintf("bbox %s", env.String()),
 			pc.Len(), colstore.RangesLen(cand), time.Since(start))
 	}
 
+	_ = faultpoint.Hit("engine.select.refine")
 	start = time.Now()
 	// The refinement result lands in a pooled selection vector sized by the
-	// imprint filter's candidate count (an upper bound on matches).
-	rows := getRowBuf(colstore.RangesLen(cand))
+	// imprint filter's candidate count (an upper bound on matches, so the
+	// appends below never grow it — tracking at acquisition is safe).
+	rows := run.AcquireRows(colstore.RangesLen(cand))
+	// The per-run cancellation token rides into the refinement loops via a
+	// copy of the grid options; pc.GridOpts itself stays run-independent.
+	opts := pc.GridOpts
+	opts.Cancel = run.Token()
 	var st grid.Stats
 	if pc.Parallel {
-		rows, st = grid.RefineAutoInto(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts, rows)
+		rows, st = grid.RefineAutoInto(pc.xs.Values(), pc.ys.Values(), cand, region, opts, rows)
 	} else {
-		rows, st = grid.RefineInto(pc.xs.Values(), pc.ys.Values(), cand, region, pc.GridOpts, rows)
+		rows, st = grid.RefineInto(pc.xs.Values(), pc.ys.Values(), cand, region, opts, rows)
 	}
-	RecycleRanges(cand)
+	run.recycleRanges(cand)
 	if ex != nil {
 		ex.Add(opGridRefine,
 			fmt.Sprintf("%dx%d cells, %d boundary", st.GridCellsX, st.GridCellsY, st.BoundaryCells),
@@ -312,13 +337,15 @@ func (pc *PointCloud) selectRegionRows(region grid.Region, ex *Explain) ([]int, 
 // the X and Y candidate cacheline lists intersect into one pooled range
 // list (~170KB/query at small scale if it were allocated instead). The
 // intermediate lists go straight back to the pool; the caller owns the
-// returned list and must hand it back with RecycleRanges.
-func candidateRangesXY(imX, imY *imprints.Imprints, env geom.Envelope) []colstore.Range {
-	candX := imX.CandidateRangesInto(env.MinX, env.MaxX, getRangeBuf(0))
-	candY := imY.CandidateRangesInto(env.MinY, env.MaxY, getRangeBuf(0))
-	cand := colstore.IntersectRangesInto(candX, candY, getRangeBuf(0))
-	RecycleRanges(candX)
-	RecycleRanges(candY)
+// returned list and must hand it back with run.recycleRanges (or
+// RecycleRanges when run is nil). Each list registers in the release list
+// only after the call that grows it returns (track-after-production).
+func candidateRangesXY(run *Run, imX, imY *imprints.Imprints, env geom.Envelope) []colstore.Range {
+	candX := run.trackRanges(imX.CandidateRangesInto(env.MinX, env.MaxX, getRangeBuf(0)))
+	candY := run.trackRanges(imY.CandidateRangesInto(env.MinY, env.MaxY, getRangeBuf(0)))
+	cand := run.trackRanges(colstore.IntersectRangesInto(candX, candY, getRangeBuf(0)))
+	run.recycleRanges(candX)
+	run.recycleRanges(candY)
 	return cand
 }
 
@@ -345,7 +372,7 @@ func (pc *PointCloud) SelectRegionImprintsOnly(region grid.Region) Selection {
 	pc.EnsureImprints()
 	imX, imY := pc.imprintsXY()
 	start := time.Now()
-	cand := candidateRangesXY(imX, imY, env)
+	cand := candidateRangesXY(nil, imX, imY, env)
 	ex.Add(opImprintsFilter, env.String(), pc.Len(), colstore.RangesLen(cand), time.Since(start))
 	start = time.Now()
 	rows, st := grid.RefineExhaustiveInto(pc.xs.Values(), pc.ys.Values(), cand, region,

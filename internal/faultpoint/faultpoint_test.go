@@ -1,0 +1,80 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The untagged half of the suite: in normal builds Hit must be a free
+// no-op regardless of Arm calls; in faultinject builds the armed
+// behaviours fire. Both halves run under `go test -tags faultinject`.
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Hit("test.point"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if Hit("test.point") != nil {
+			t.Fatal("unarmed Hit returned an error")
+		}
+	})
+	// Armed builds count hits in a map; only the production build must be
+	// allocation-free.
+	if !Enabled && allocs != 0 {
+		t.Fatalf("unarmed Hit allocates %.1f/op in a production build", allocs)
+	}
+}
+
+func TestArmedActions(t *testing.T) {
+	if !Enabled {
+		t.Skip("needs -tags faultinject")
+	}
+	Reset()
+	t.Cleanup(Reset)
+
+	sentinel := errors.New("injected")
+	Arm("test.err", Action{Err: sentinel})
+	if err := Hit("test.err"); !errors.Is(err, sentinel) {
+		t.Fatalf("armed error point returned %v", err)
+	}
+	if got := HitCount("test.err"); got != 1 {
+		t.Fatalf("HitCount = %d, want 1", got)
+	}
+	Disarm("test.err")
+	if err := Hit("test.err"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+
+	Arm("test.after", Action{Err: sentinel, After: 2})
+	for i := 0; i < 2; i++ {
+		if err := Hit("test.after"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if err := Hit("test.after"); !errors.Is(err, sentinel) {
+		t.Fatalf("After-gated point never fired: %v", err)
+	}
+
+	Arm("test.panic", Action{Panic: "boom"})
+	func() {
+		defer func() {
+			if p := recover(); p != "boom" {
+				t.Fatalf("armed panic point recovered %v", p)
+			}
+		}()
+		Hit("test.panic")
+		t.Fatal("armed panic point returned")
+	}()
+
+	Arm("test.delay", Action{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Hit("test.delay"); err != nil {
+		t.Fatalf("delay point returned %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay point returned after %v, want >= 20ms", d)
+	}
+}

@@ -1,0 +1,23 @@
+//go:build !faultinject
+
+package faultpoint
+
+// Enabled reports whether the fault-injection build tag is active. Tests
+// that only make sense with armed points skip when it is false.
+const Enabled = false
+
+// Hit is the production no-op: it inlines to `return nil` and the name
+// argument is a dead constant, so marked loops cost nothing.
+func Hit(name string) error { return nil }
+
+// Arm is a no-op without the faultinject tag.
+func Arm(name string, a Action) {}
+
+// Disarm is a no-op without the faultinject tag.
+func Disarm(name string) {}
+
+// Reset is a no-op without the faultinject tag.
+func Reset() {}
+
+// HitCount always reports zero without the faultinject tag.
+func HitCount(name string) int { return 0 }

@@ -1,0 +1,90 @@
+//go:build faultinject
+
+package faultpoint
+
+import (
+	"sync"
+	"time"
+)
+
+// Enabled reports whether the fault-injection build tag is active.
+const Enabled = true
+
+// The armed registry. A plain mutex (not RWMutex) keeps the hit path
+// simple; armed builds run tests, not benchmarks.
+var (
+	mu     sync.Mutex
+	armed  map[string]*Action
+	counts map[string]int
+)
+
+// Arm installs a on the named point, replacing any previous action and
+// resetting its hit counter.
+func Arm(name string, a Action) {
+	mu.Lock()
+	defer mu.Unlock()
+	if armed == nil {
+		armed = map[string]*Action{}
+		counts = map[string]int{}
+	}
+	armed[name] = &a
+	counts[name] = 0
+}
+
+// Disarm removes the action on the named point (hit counting continues).
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(armed, name)
+}
+
+// Reset disarms every point and clears all hit counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed = nil
+	counts = nil
+}
+
+// HitCount reports how many times the named point was hit since it was
+// last armed (or since Reset).
+func HitCount(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return counts[name]
+}
+
+// Hit executes the point's armed action, if any. The mutex is released
+// before sleeping or panicking so a delayed point never blocks Arm/Disarm
+// from another goroutine (the cancellation tests disarm while a delayed
+// kernel loop is mid-flight).
+func Hit(name string) error {
+	mu.Lock()
+	if counts != nil {
+		counts[name]++
+	}
+	a := armed[name]
+	var fire bool
+	if a != nil {
+		if a.After > 0 {
+			a.After--
+		} else {
+			fire = true
+		}
+	}
+	var act Action
+	if fire {
+		act = *a
+	}
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	if act.Panic != nil {
+		panic(act.Panic)
+	}
+	return act.Err
+}

@@ -8,6 +8,7 @@ package grid
 import (
 	"math"
 
+	"gisnav/internal/cancel"
 	"gisnav/internal/colstore"
 	"gisnav/internal/geom"
 )
@@ -105,6 +106,12 @@ type Options struct {
 	TargetPointsPerCell int
 	// MaxCellsPerSide caps the grid resolution. Defaults to 1024.
 	MaxCellsPerSide int
+	// Cancel, when non-nil, is polled every refineBlock candidate rows; a
+	// fired token makes the refinement return early with the matches found
+	// so far (the caller decides partial results are discarded). The
+	// engine threads each query's run token through a per-call copy of its
+	// stored options.
+	Cancel *cancel.Token
 }
 
 func (o Options) withDefaults() Options {
@@ -207,56 +214,80 @@ func RefineInto(xs, ys []float64, cand []colstore.Range, region Region, opts Opt
 	defer putStates(states)
 	base := len(matches)
 	for _, r := range cand {
-		for row := r.Start; row < r.End; row++ {
-			x, y := xs[row], ys[row]
-			if x < env.MinX || x > env.MaxX || y < env.MinY || y > env.MaxY {
-				continue
+		// Cancellation is polled per block of candidate rows, never per
+		// row: ranges are walked in refineBlock-sized slices so a fired
+		// token stops the pass within one block with the work so far.
+		for blockStart := r.Start; blockStart < r.End; blockStart += refineBlock {
+			if opts.Cancel.Cancelled() {
+				st.Matches = len(matches) - base
+				return matches, st
 			}
-			cx := int((x - env.MinX) / cellW)
-			if cx >= nx {
-				cx = nx - 1
-			}
-			cy := int((y - env.MinY) / cellH)
-			if cy >= ny {
-				cy = ny - 1
-			}
-			idx := cy*nx + cx
-			state := states[idx]
-			if state == cellUnknown {
-				box := geom.Envelope{
-					MinX: env.MinX + float64(cx)*cellW,
-					MinY: env.MinY + float64(cy)*cellH,
-					MaxX: env.MinX + float64(cx+1)*cellW,
-					MaxY: env.MinY + float64(cy+1)*cellH,
-				}
-				st.CellsTouched++
-				switch region.Classify(box) {
-				case geom.BoxInside:
-					state = cellInside
-					st.InsideCells++
-				case geom.BoxOutside:
-					state = cellOutside
-					st.OutsideCells++
-				default:
-					state = cellBoundary
-					st.BoundaryCells++
-				}
-				states[idx] = state
-			}
-			switch state {
-			case cellInside:
-				st.BulkAccepted++
-				matches = append(matches, row)
-			case cellBoundary:
-				st.ExactTests++
-				if region.Contains(x, y) {
-					matches = append(matches, row)
-				}
-			}
+			blockEnd := min(blockStart+refineBlock, r.End)
+			r := colstore.Range{Start: blockStart, End: blockEnd}
+			matches = refineRange(xs, ys, r, region, env, states, nx, ny, cellW, cellH, &st, matches)
 		}
 	}
 	st.Matches = len(matches) - base
 	return matches, st
+}
+
+// refineBlock is the cancellation poll granularity of the refinement
+// loops: one token check per this many candidate rows.
+const refineBlock = 4096
+
+// refineRange classifies and tests the candidate rows of one range slice
+// — the body of RefineInto's main loop, factored out per cancellation
+// block.
+func refineRange(xs, ys []float64, r colstore.Range, region Region, env geom.Envelope,
+	states []cellState, nx, ny int, cellW, cellH float64, st *Stats, matches []int) []int {
+	for row := r.Start; row < r.End; row++ {
+		x, y := xs[row], ys[row]
+		if x < env.MinX || x > env.MaxX || y < env.MinY || y > env.MaxY {
+			continue
+		}
+		cx := int((x - env.MinX) / cellW)
+		if cx >= nx {
+			cx = nx - 1
+		}
+		cy := int((y - env.MinY) / cellH)
+		if cy >= ny {
+			cy = ny - 1
+		}
+		idx := cy*nx + cx
+		state := states[idx]
+		if state == cellUnknown {
+			box := geom.Envelope{
+				MinX: env.MinX + float64(cx)*cellW,
+				MinY: env.MinY + float64(cy)*cellH,
+				MaxX: env.MinX + float64(cx+1)*cellW,
+				MaxY: env.MinY + float64(cy+1)*cellH,
+			}
+			st.CellsTouched++
+			switch region.Classify(box) {
+			case geom.BoxInside:
+				state = cellInside
+				st.InsideCells++
+			case geom.BoxOutside:
+				state = cellOutside
+				st.OutsideCells++
+			default:
+				state = cellBoundary
+				st.BoundaryCells++
+			}
+			states[idx] = state
+		}
+		switch state {
+		case cellInside:
+			st.BulkAccepted++
+			matches = append(matches, row)
+		case cellBoundary:
+			st.ExactTests++
+			if region.Contains(x, y) {
+				matches = append(matches, row)
+			}
+		}
+	}
+	return matches
 }
 
 // RefineExhaustive is the ablation baseline: every candidate point is tested

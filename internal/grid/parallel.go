@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gisnav/internal/colstore"
+	"gisnav/internal/faultpoint"
 	"gisnav/internal/geom"
 )
 
@@ -47,6 +48,7 @@ type refineScratch struct {
 	parts   [][]colstore.Range
 	results [][]int
 	stats   []Stats
+	panics  []any // per-partition recovered panic values (nil = clean)
 	wg      sync.WaitGroup
 }
 
@@ -70,20 +72,44 @@ func ensureRefineWorkers() {
 		for i := 0; i < n; i++ {
 			go func() {
 				for t := range refineTasks {
-					// Per-partition match buffers are pooled: the dominant
-					// per-query allocation of the parallel arm would
-					// otherwise be one O(matches) vector per worker.
-					buf := partialPool.Get(colstore.RangesLen(t.cand))
-					t.sc.results[t.slot], t.sc.stats[t.slot] = RefineInto(t.xs, t.ys, t.cand, t.region, t.opts, buf)
-					t.sc.wg.Done()
+					runTask(t)
 				}
 			}()
 		}
 	})
 }
 
+// runTask refines one partition into a pooled partial buffer, recovering
+// any panic below it so a poisoned partition can never strand the
+// resident worker set or leave the pass's WaitGroup hanging. The panic
+// value parks in the scratch's per-slot panic slot; RefineParallelInto
+// re-raises the first one after every partition has settled, and the
+// partial buffer goes straight back to its pool so accounting stays
+// balanced whichever way the partition ends.
+func runTask(t refineTask) {
+	defer t.sc.wg.Done()
+	// Per-partition match buffers are pooled: the dominant per-query
+	// allocation of the parallel arm would otherwise be one O(matches)
+	// vector per worker.
+	buf := partialPool.Get(colstore.RangesLen(t.cand))
+	defer func() {
+		if p := recover(); p != nil {
+			t.sc.panics[t.slot] = p
+			t.sc.results[t.slot] = nil
+			partialPool.Put(buf)
+		}
+	}()
+	if err := faultpoint.Hit("grid.refine.partition"); err != nil {
+		panic(err)
+	}
+	t.sc.results[t.slot], t.sc.stats[t.slot] = RefineInto(t.xs, t.ys, t.cand, t.region, t.opts, buf)
+}
+
 // RefineParallelInto is RefineParallel appending into a caller-provided
-// matches slice (see RefineInto).
+// matches slice (see RefineInto). A panic in any partition — caller's or
+// resident worker's — is re-raised here after all partitions settle, with
+// every partial buffer already recycled; the worker set stays alive and
+// serves later passes.
 func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, opts Options, workers int, matches []int) ([]int, Stats) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -98,13 +124,29 @@ func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, 
 	n := len(sc.parts)
 	// Partitions beyond the first go to the resident workers; the caller
 	// refines partition 0 itself instead of idling on the WaitGroup.
-	sc.wg.Add(n - 1)
+	sc.wg.Add(n)
 	for w := 1; w < n; w++ {
 		refineTasks <- refineTask{xs: xs, ys: ys, cand: sc.parts[w], region: region, opts: opts, slot: w, sc: sc}
 	}
-	buf := partialPool.Get(colstore.RangesLen(sc.parts[0]))
-	sc.results[0], sc.stats[0] = RefineInto(xs, ys, sc.parts[0], region, opts, buf)
+	runTask(refineTask{xs: xs, ys: ys, cand: sc.parts[0], region: region, opts: opts, slot: 0, sc: sc})
 	sc.wg.Wait()
+
+	for w := 0; w < n; w++ {
+		if p := sc.panics[w]; p != nil {
+			// A panicked partition poisons the whole pass: recycle every
+			// surviving partial buffer, return the scratch clean, and
+			// re-raise the first panic for the query layer's recovery.
+			for v := 0; v < n; v++ {
+				if sc.results[v] != nil {
+					partialPool.Put(sc.results[v])
+					sc.results[v] = nil
+				}
+				sc.panics[v] = nil
+			}
+			refineScratchPool.Put(sc)
+			panic(p)
+		}
+	}
 
 	var st Stats
 	for w := 0; w < n; w++ {
@@ -169,12 +211,15 @@ func (sc *refineScratch) split(cand []colstore.Range, n int) {
 	if cap(sc.results) < len(sc.parts) {
 		sc.results = make([][]int, len(sc.parts))
 		sc.stats = make([]Stats, len(sc.parts))
+		sc.panics = make([]any, len(sc.parts))
 		return
 	}
 	sc.results = sc.results[:len(sc.parts)]
 	sc.stats = sc.stats[:len(sc.parts)]
+	sc.panics = sc.panics[:len(sc.parts)]
 	for i := range sc.stats {
 		sc.stats[i] = Stats{}
+		sc.panics[i] = nil
 	}
 }
 

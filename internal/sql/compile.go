@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math"
 
+	"gisnav/internal/cancel"
 	"gisnav/internal/colstore"
 )
 
@@ -93,10 +94,14 @@ type compiledFilter struct {
 // apply narrows rows to the conjunct's survivors, compacting in place (the
 // write index never overtakes the read index). On error the selection's
 // backing array is untouched beyond already-surviving prefixes; callers
-// recycle their original slice.
-func (f *compiledFilter) apply(rows []int) ([]int, error) {
+// recycle their original slice. tok is polled once per chunk; a fired
+// token aborts with cancel.ErrCancelled (nil tok never fires).
+func (f *compiledFilter) apply(tok *cancel.Token, rows []int) ([]int, error) {
 	out := rows[:0]
 	for base := 0; base < len(rows); base += exprChunk {
+		if tok.Cancelled() {
+			return nil, cancel.ErrCancelled
+		}
 		end := min(base+exprChunk, len(rows))
 		chunk := rows[base:end]
 		keep := f.keep[:len(chunk)]

@@ -46,7 +46,7 @@ func runCompiled(t *testing.T, b *binding, e Expr, rows []int) ([]int, error, bo
 		return nil, nil, false
 	}
 	cp := append([]int(nil), rows...)
-	got, err := cf.apply(cp)
+	got, err := cf.apply(nil, cp)
 	return got, err, true
 }
 

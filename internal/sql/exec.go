@@ -12,6 +12,7 @@
 package sql
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -22,6 +23,7 @@ import (
 type Executor struct {
 	db    *engine.DB
 	stmts stmtCache
+	gate  gate
 }
 
 // New returns an executor over db.
@@ -44,7 +46,16 @@ type Result struct {
 // runs ("planned"). Epoch revalidation inside run guarantees an append
 // between two calls is observed by the second.
 func (e *Executor) Query(src string) (*Result, error) {
-	return e.query(src, &engine.Explain{})
+	return e.query(context.Background(), src, &engine.Explain{})
+}
+
+// QueryContext is Query under a context: the run passes the admission
+// gate (lifecycle.go), kernel loops poll ctx's done channel at block
+// boundaries, and a fired context surfaces as ctx.Err() with every pooled
+// buffer already recycled. A context without deadline or cancel behaves
+// exactly like Query.
+func (e *Executor) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return e.query(ctx, src, &engine.Explain{})
 }
 
 // QueryUntraced is Query without the per-operator EXPLAIN trace: the same
@@ -52,7 +63,12 @@ func (e *Executor) Query(src string) (*Result, error) {
 // nothing for tracing — the entry point for latency-critical callers (the
 // pan/zoom benchmark measures this surface against the prepared Run path).
 func (e *Executor) QueryUntraced(src string) (*Result, error) {
-	return e.query(src, nil)
+	return e.query(context.Background(), src, nil)
+}
+
+// QueryUntracedContext is QueryUntraced under a context (see QueryContext).
+func (e *Executor) QueryUntracedContext(ctx context.Context, src string) (*Result, error) {
+	return e.query(ctx, src, nil)
 }
 
 // query is the shared two-level lookup behind Query and QueryUntraced, with
@@ -62,10 +78,10 @@ func (e *Executor) QueryUntraced(src string) (*Result, error) {
 // per-step overhead for very small viewports where the scan no longer
 // dominates. The interned vector is shared across calls and must therefore
 // never be mutated downstream (rebind copies out of it; plans copy it).
-func (e *Executor) query(src string, ex *engine.Explain) (*Result, error) {
+func (e *Executor) query(ctx context.Context, src string, ex *engine.Explain) (*Result, error) {
 	if key, params, ok := e.stmts.frontLookup(src); ok {
 		if pq := e.stmts.lookup(key); pq != nil {
-			return pq.run(ex, params, originCached)
+			return pq.lifecycleRun(ctx, ex, params, originCached)
 		}
 		// Interned text whose statement was evicted: fall through and
 		// re-lex, the same path as a brand-new text.
@@ -76,7 +92,7 @@ func (e *Executor) query(src string, ex *engine.Explain) (*Result, error) {
 	}
 	if pq := e.stmts.lookup(key); pq != nil {
 		e.stmts.frontInsert(src, key, params)
-		return pq.run(ex, params, originCached)
+		return pq.lifecycleRun(ctx, ex, params, originCached)
 	}
 	stmt, err := parseTokens(toks)
 	if err != nil {
@@ -88,7 +104,7 @@ func (e *Executor) query(src string, ex *engine.Explain) (*Result, error) {
 	}
 	e.stmts.insert(key, pq)
 	e.stmts.frontInsert(src, key, params)
-	return pq.run(ex, params, originPlanned)
+	return pq.lifecycleRun(ctx, ex, params, originPlanned)
 }
 
 // Exec plans and executes a parsed statement, bypassing the statement

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"gisnav/internal/cancel"
 	"gisnav/internal/engine"
 )
 
@@ -219,7 +220,7 @@ func (gp *groupedPlan) vectorize(b *binding, mode planMode) {
 // the strategy fixed at Prepare: engine grouped kernels when the plan
 // vectorized, the row-at-a-time interpreter otherwise. Both arms emit
 // groups in the same canonical key order and share the ORDER BY/LIMIT tail.
-func execGrouped(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
+func execGrouped(rs *engine.Run, p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
 	gp := p.grouped
 	start := time.Now()
 	res := &Result{Columns: gp.cols, Explain: ex}
@@ -227,7 +228,7 @@ func execGrouped(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *
 	if gp.keyCol != "" && !isVector {
 		// ex lands the engine's group.agg step (kernel strategy + timing)
 		// ahead of the SQL-layer group step below; nil on untraced runs.
-		if err := p.b.pc.GroupedAggregate(rows, gp.keyCol, gp.specs, &gp.scratch, ex); err != nil {
+		if err := p.b.pc.GroupedAggregateRun(rs, rows, gp.keyCol, gp.specs, &gp.scratch, ex); err != nil {
 			return nil, err
 		}
 		strategy = gp.scratch.Strategy
@@ -248,7 +249,7 @@ func execGrouped(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *
 		}
 		// Engine results arrive already in FloatOrderKey order.
 	} else {
-		if err := interpretGrouped(p, gp, rows, isVector, res); err != nil {
+		if err := interpretGrouped(rs, p, gp, rows, isVector, res); err != nil {
 			return nil, err
 		}
 	}
@@ -288,7 +289,7 @@ func execGrouped(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *
 // expressions and aggregate arguments per row, accumulate into a map keyed
 // by the rendered key tuple, then emit groups sorted into the same
 // canonical key order the engine kernels produce.
-func interpretGrouped(p *queryPlan, gp *groupedPlan, rows []int, isVector bool, res *Result) error {
+func interpretGrouped(rs *engine.Run, p *queryPlan, gp *groupedPlan, rows []int, isVector bool, res *Result) error {
 	groups := map[string]*group{}
 	ctx := &evalCtx{b: p.b, ps: p.params, pcRow: -1, vtRow: -1}
 	var keyBuf strings.Builder
@@ -296,7 +297,10 @@ func interpretGrouped(p *queryPlan, gp *groupedPlan, rows []int, isVector bool, 
 	// when the row opens a new group — existing groups (the common case) cost
 	// no per-row allocation.
 	keyScratch := make([]Value, len(gp.groupBy))
-	for _, r := range rows {
+	for n, r := range rows {
+		if n%exprChunk == 0 && rs.Cancelled() {
+			return cancel.ErrCancelled
+		}
 		setRow(ctx, isVector, r)
 		keyBuf.Reset()
 		for k, gexpr := range gp.groupBy {

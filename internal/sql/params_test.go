@@ -336,7 +336,7 @@ func TestRebindMatchesFreshPrepare(t *testing.T) {
 			for i := range params {
 				params[i] = numVal(randLit())
 			}
-			rebound, rerr := pq.run(nil, params, originCached)
+			rebound, rerr := pq.run(nil, nil, params, originCached)
 			fresh, ferr := e.prepareBound(stmt, params)
 			var want *Result
 			var werr error

@@ -40,6 +40,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gisnav/internal/engine"
 	"gisnav/internal/geom"
@@ -171,6 +172,13 @@ type PreparedQuery struct {
 
 	mu   sync.Mutex
 	plan *queryPlan
+
+	// poisoned marks the plan untrustworthy after a recovered panic: a
+	// panic can unwind out of the plan's per-statement scratch (compiled
+	// kernel chunk buffers, grouped-aggregate result record) in a torn
+	// state. The next run replans from the AST and clears the mark only
+	// once the fresh plan is committed (lifecycle.go / run.go).
+	poisoned atomic.Bool
 }
 
 // Prepare parses and plans src for repeated execution. The statement is

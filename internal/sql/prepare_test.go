@@ -1,7 +1,9 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -213,6 +215,14 @@ func TestConcurrentSameStatement(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				res, err := e.Query(countQuery)
+				if errors.Is(err, ErrOverloaded) {
+					// The admission gate (2×GOMAXPROCS slots) sheds the
+					// burst on small machines; this test is about result
+					// integrity, not admission, so back off and retry.
+					runtime.Gosched()
+					i--
+					continue
+				}
 				if err != nil {
 					errs <- err
 					return

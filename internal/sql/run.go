@@ -7,13 +7,16 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"time"
 
+	"gisnav/internal/cancel"
 	"gisnav/internal/engine"
+	"gisnav/internal/faultpoint"
 )
 
 // Plan origins surfaced in the EXPLAIN trace's leading "plan" step, so the
@@ -28,6 +31,7 @@ const (
 	originRebound   = "rebound (shape-cache hit)"   // shape hit, new vector bound
 	originReplanned = "replanned (epoch moved)"     // table epoch invalidated the plan
 	originDiverged  = "replanned (literal reclass)" // new literals changed classification
+	originPoisoned  = "replanned (post-panic)"      // a recovered panic poisoned the plan
 )
 
 // Run executes the prepared statement against the current table state,
@@ -35,20 +39,31 @@ const (
 // use RunTraced when the per-operator EXPLAIN view matters. If a bound
 // table's epoch moved since planning, Run replans first, so an append
 // between two runs is always observed by the second.
-func (pq *PreparedQuery) Run() (*Result, error) { return pq.run(nil, pq.init, originPrepared) }
+func (pq *PreparedQuery) Run() (*Result, error) {
+	return pq.lifecycleRun(context.Background(), nil, pq.init, originPrepared)
+}
+
+// RunContext is Run under a context: the run passes the executor's
+// admission gate, kernel loops poll ctx's done channel at block
+// boundaries, and a fired context surfaces as ctx.Err() with every
+// pooled buffer already recycled (see lifecycle.go).
+func (pq *PreparedQuery) RunContext(ctx context.Context) (*Result, error) {
+	return pq.lifecycleRun(ctx, nil, pq.init, originPrepared)
+}
 
 // RunTraced is Run with the per-operator EXPLAIN trace Executor.Query
 // exposes. Tracing formats operator details per step and therefore
 // allocates; keep the plain Run on latency-critical paths.
 func (pq *PreparedQuery) RunTraced() (*Result, error) {
-	return pq.run(&engine.Explain{}, pq.init, originPrepared)
+	return pq.lifecycleRun(context.Background(), &engine.Explain{}, pq.init, originPrepared)
 }
 
 // run executes the statement with the literal vector params, re-binding or
 // re-planning the cached skeleton as needed. origin labels how the caller
 // reached this plan; the epoch/rebind decisions below refine it before it
-// lands in the trace.
-func (pq *PreparedQuery) run(ex *engine.Explain, params []Value, origin string) (*Result, error) {
+// lands in the trace. rs is the lifecycle record every pooled acquisition
+// below must route through (see lifecycle.go); callers own its drain.
+func (pq *PreparedQuery) run(rs *engine.Run, ex *engine.Explain, params []Value, origin string) (*Result, error) {
 	if !pq.mu.TryLock() {
 		// Another run of this statement is in flight. The plan's compiled
 		// kernels carry per-statement chunk scratch, so sharing it would
@@ -60,7 +75,7 @@ func (pq *PreparedQuery) run(ex *engine.Explain, params []Value, origin string) 
 			return nil, err
 		}
 		tmp := &PreparedQuery{ex: pq.ex, stmt: pq.stmt, init: params, plan: plan}
-		return tmp.run(ex, params, origin)
+		return tmp.run(rs, ex, params, origin)
 	}
 	defer pq.mu.Unlock()
 	// A shape hit carrying a new literal vector counts as a ShapeHit even
@@ -72,16 +87,25 @@ func (pq *PreparedQuery) run(ex *engine.Explain, params []Value, origin string) 
 		origin = originRebound
 	}
 	switch {
-	case pq.plan.stale():
+	case pq.poisoned.Load() || pq.plan.stale():
 		// Epoch mismatch always replans — rebinding cannot help, the plan
-		// is bound to moved arrays.
+		// is bound to moved arrays. A post-panic poison mark replans for a
+		// different reason: the old plan's scratch state is torn to an
+		// unknown degree. The mark clears only after the fresh plan is
+		// committed, so a failed replan keeps the statement poisoned.
+		stale := pq.plan.stale()
 		plan, err := pq.ex.buildPlan(pq.stmt, params)
 		if err != nil {
 			return nil, err
 		}
 		pq.plan = plan
-		pq.ex.stmts.invalidations.Add(1)
-		origin = originReplanned
+		if stale {
+			pq.ex.stmts.invalidations.Add(1)
+			origin = originReplanned
+		} else {
+			origin = originPoisoned
+		}
+		pq.poisoned.Store(false)
 	case newLits:
 		// Same shape, new literal vector: the shape-cache fast path. Bind
 		// the constants into the existing skeleton; fall back to a full
@@ -106,73 +130,87 @@ func (pq *PreparedQuery) run(ex *engine.Explain, params []Value, origin string) 
 	p := pq.plan
 	switch p.mode {
 	case planVector:
-		return pq.runVector(p, ex)
+		return pq.runVector(rs, p, ex)
 	case planJoin:
-		return pq.runJoin(p, ex)
+		return pq.runJoin(rs, p, ex)
 	default:
-		return pq.runPointCloud(p, ex)
+		return pq.runPointCloud(rs, p, ex)
 	}
 }
 
 // --- point cloud execution ---------------------------------------------------
 
-func (pq *PreparedQuery) runPointCloud(p *queryPlan, ex *engine.Explain) (*Result, error) {
+func (pq *PreparedQuery) runPointCloud(rs *engine.Run, p *queryPlan, ex *engine.Explain) (*Result, error) {
 	var rows []int
 	if p.region != nil {
 		if ex != nil {
-			sel := p.b.pc.SelectRegion(p.region)
+			sel := p.b.pc.SelectRegionRun(rs, p.region)
 			ex.Steps = append(ex.Steps, sel.Explain.Steps...)
 			rows = sel.Rows
 		} else {
-			rows = p.b.pc.SelectRegionRows(p.region)
+			rows = p.b.pc.SelectRegionRowsRun(rs, p.region)
+		}
+		if rs.Cancelled() {
+			// The refinement loop returns a partial selection when the
+			// token fires mid-pass; the release-list drain recycles it.
+			return nil, cancel.ErrCancelled
 		}
 	}
-	return pq.finishPointCloud(p, rows, ex)
+	return pq.finishPointCloud(rs, p, rows, ex)
 }
 
 // finishPointCloud runs the shared tail of point-cloud and join execution:
 // thematic predicate kernels, generic filters (compiled at prepare time
 // where possible), projection, and the pooled-vector bookkeeping. rows may
-// be nil ("all rows"); when non-nil it is treated as engine-owned and
-// recycled on every exit path — including errors.
-func (pq *PreparedQuery) finishPointCloud(p *queryPlan, rows []int, ex *engine.Explain) (*Result, error) {
-	filtered, err := p.b.pc.FilterRows(rows, p.preds, ex)
+// be nil ("all rows"); when non-nil it is an rs-tracked pooled vector and
+// is recycled through rs on every exit path — including errors, where the
+// lifecycle drain would catch it anyway but eager recycling keeps the
+// pool's working set tight.
+func (pq *PreparedQuery) finishPointCloud(rs *engine.Run, p *queryPlan, rows []int, ex *engine.Explain) (*Result, error) {
+	if err := faultpoint.Hit("sql.run.filter"); err != nil {
+		if rows != nil {
+			rs.RecycleRows(rows)
+		}
+		return nil, err
+	}
+	filtered, err := p.b.pc.FilterRowsRun(rs, rows, p.preds, ex)
 	if err != nil {
 		if rows != nil {
-			engine.RecycleRows(rows)
+			rs.RecycleRows(rows)
 		}
 		return nil, err
 	}
 	// FilterRows copies on first write, so the incoming pooled vector can
 	// go back to the pool as soon as a predicate replaced it.
 	if rows != nil && len(p.preds) > 0 {
-		engine.RecycleRows(rows)
+		rs.RecycleRows(rows)
 	}
 	rows = filtered
 	// Generic filters compact rows in place (the backing array never moves
 	// or grows), so on error the pre-call slice is still the one to recycle.
-	narrowed, err := genericFilterPC(p, rows, ex)
+	narrowed, err := genericFilterPC(rs, p, rows, ex)
 	if err != nil {
-		engine.RecycleRows(rows)
+		rs.RecycleRows(rows)
 		return nil, err
 	}
 	rows = narrowed
-	res, err := pq.output(p, rows, ex)
-	engine.RecycleRows(rows)
+	res, err := pq.output(rs, p, rows, ex)
+	rs.RecycleRows(rows)
 	return res, err
 }
 
 // genericFilterPC applies the planned generic conjuncts in statement
 // order. Steps with a compiled kernel run chunk-at-a-time; the rest fall
 // back to the row-at-a-time interpreter. Both paths compact rows in place
-// without moving its backing array.
-func genericFilterPC(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error) {
+// without moving its backing array, and both poll the run's cancellation
+// token once per expression chunk.
+func genericFilterPC(rs *engine.Run, p *queryPlan, rows []int, ex *engine.Explain) ([]int, error) {
 	for i := range p.generic {
 		g := &p.generic[i]
 		start := time.Now()
 		in := len(rows)
 		if g.cf != nil {
-			narrowed, err := g.cf.apply(rows)
+			narrowed, err := g.cf.apply(rs.Token(), rows)
 			if err != nil {
 				return nil, err
 			}
@@ -184,7 +222,10 @@ func genericFilterPC(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error
 		}
 		out := rows[:0]
 		ctx := &evalCtx{b: p.b, ps: p.params, vtRow: -1}
-		for _, r := range rows {
+		for n, r := range rows {
+			if n%exprChunk == 0 && rs.Cancelled() {
+				return nil, cancel.ErrCancelled
+			}
 			ctx.pcRow = r
 			v, err := evalExpr(ctx, g.expr)
 			if err != nil {
@@ -204,15 +245,15 @@ func genericFilterPC(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error
 
 // --- vector execution ---------------------------------------------------------
 
-func (pq *PreparedQuery) runVector(p *queryPlan, ex *engine.Explain) (*Result, error) {
-	rows := allRows(p.b.vt.Len())
-	rows, err := runVTSteps(p, rows, ex)
+func (pq *PreparedQuery) runVector(rs *engine.Run, p *queryPlan, ex *engine.Explain) (*Result, error) {
+	rows := allRows(rs, p.b.vt.Len())
+	rows, err := runVTSteps(rs, p, rows, ex)
 	if err != nil {
-		engine.RecycleRows(rows)
+		rs.RecycleRows(rows)
 		return nil, err
 	}
-	res, err := pq.output(p, rows, ex)
-	engine.RecycleRows(rows)
+	res, err := pq.output(rs, p, rows, ex)
+	rs.RecycleRows(rows)
 	return res, err
 }
 
@@ -222,25 +263,29 @@ func (pq *PreparedQuery) runVector(p *queryPlan, ex *engine.Explain) (*Result, e
 // row-wise interpreter. All narrowing is in place over the incoming pooled
 // vector; the returned slice shares its backing array, so the caller
 // recycles exactly one buffer on every path (the error return carries the
-// live slice for that reason).
-func runVTSteps(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error) {
+// live slice for that reason). The index-backed side vectors are tracked
+// after production — Select*Into grow the buffer they are handed.
+func runVTSteps(rs *engine.Run, p *queryPlan, rows []int, ex *engine.Explain) ([]int, error) {
 	for i := range p.vtSteps {
 		st := &p.vtSteps[i]
 		switch st.kind {
 		case vtStepClass:
-			fast := p.b.vt.SelectClassInto(st.class, engine.AcquireRows(0), ex)
+			fast := rs.TrackRows(p.b.vt.SelectClassInto(st.class, engine.AcquireRows(0), ex))
 			rows = intersectSorted(rows, fast)
-			engine.RecycleRows(fast)
+			rs.RecycleRows(fast)
 		case vtStepIntersects:
-			fast := p.b.vt.SelectIntersectsInto(st.g, engine.AcquireRows(0), ex)
+			fast := rs.TrackRows(p.b.vt.SelectIntersectsInto(st.g, engine.AcquireRows(0), ex))
 			rows = intersectSorted(rows, fast)
-			engine.RecycleRows(fast)
+			rs.RecycleRows(fast)
 		default:
 			start := time.Now()
 			in := len(rows)
 			out := rows[:0]
 			ctx := &evalCtx{b: p.b, ps: p.params, pcRow: -1}
-			for _, r := range rows {
+			for n, r := range rows {
+				if n%exprChunk == 0 && rs.Cancelled() {
+					return rows, cancel.ErrCancelled
+				}
 				ctx.vtRow = r
 				v, err := evalExpr(ctx, st.expr)
 				if err != nil {
@@ -261,46 +306,57 @@ func runVTSteps(p *queryPlan, rows []int, ex *engine.Explain) ([]int, error) {
 
 // --- join execution -----------------------------------------------------------
 
-func (pq *PreparedQuery) runJoin(p *queryPlan, ex *engine.Explain) (*Result, error) {
+func (pq *PreparedQuery) runJoin(rs *engine.Run, p *queryPlan, ex *engine.Explain) (*Result, error) {
 	// Phase 1: vector side, through the same steps as pure vector queries
 	// so spatial conjuncts (ST_Intersects with a constant geometry) hit the
 	// R-tree here too instead of falling to the row-wise interpreter.
-	vtRows := allRows(p.b.vt.Len())
-	vtRows, err := runVTSteps(p, vtRows, ex)
+	vtRows := allRows(rs, p.b.vt.Len())
+	vtRows, err := runVTSteps(rs, p, vtRows, ex)
 	if err != nil {
-		engine.RecycleRows(vtRows)
+		rs.RecycleRows(vtRows)
 		return nil, err
 	}
 
 	// Phase 2: the spatial join operator resolved at prepare time.
 	var sel engine.Selection
 	if p.join == joinDWithin {
-		sel = pq.ex.db.PointsNearFeatures(p.b.pc, p.b.vt, vtRows, p.joinDist)
+		sel = pq.ex.db.PointsNearFeaturesRun(rs, p.b.pc, p.b.vt, vtRows, p.joinDist)
 	} else {
-		sel = pq.ex.db.PointsInFeatures(p.b.pc, p.b.vt, vtRows)
+		sel = pq.ex.db.PointsInFeaturesRun(rs, p.b.pc, p.b.vt, vtRows)
 	}
-	engine.RecycleRows(vtRows)
+	rs.RecycleRows(vtRows)
+	if rs.Cancelled() {
+		// A token firing inside the join's refinement pass leaves a
+		// partial selection; the release-list drain recycles it.
+		return nil, cancel.ErrCancelled
+	}
 	if ex != nil {
 		ex.Steps = append(ex.Steps, sel.Explain.Steps...)
 	}
 
 	// Phase 3: point-side predicates.
-	return pq.finishPointCloud(p, sel.Rows, ex)
+	return pq.finishPointCloud(rs, p, sel.Rows, ex)
 }
 
 // --- output phase ---------------------------------------------------------------
 
 // output materialises the SELECT list over the selected rows. Result
 // columns are the plan's (shared across runs); rows index the point cloud
-// or the vector table according to the plan mode.
-func (pq *PreparedQuery) output(p *queryPlan, rows []int, ex *engine.Explain) (*Result, error) {
+// or the vector table according to the plan mode. The materialisation
+// loops poll the run's cancellation token once per expression chunk, so a
+// query cancelled during a large projection stops without building the
+// whole result.
+func (pq *PreparedQuery) output(rs *engine.Run, p *queryPlan, rows []int, ex *engine.Explain) (*Result, error) {
+	if err := faultpoint.Hit("sql.run.output"); err != nil {
+		return nil, err
+	}
 	isVector := p.mode == planVector
 	stmt := pq.stmt
 	switch p.out {
 	case outGrouped:
-		return execGrouped(p, stmt, rows, isVector, ex)
+		return execGrouped(rs, p, stmt, rows, isVector, ex)
 	case outAggregate:
-		return outputAggregates(p, stmt, rows, isVector, ex)
+		return outputAggregates(rs, p, stmt, rows, isVector, ex)
 	}
 
 	// ORDER BY.
@@ -308,6 +364,9 @@ func (pq *PreparedQuery) output(p *queryPlan, rows []int, ex *engine.Explain) (*
 		keys := make([]Value, len(rows))
 		ctx := &evalCtx{b: p.b, ps: p.params, pcRow: -1, vtRow: -1}
 		for i, r := range rows {
+			if i%exprChunk == 0 && rs.Cancelled() {
+				return nil, cancel.ErrCancelled
+			}
 			setRow(ctx, isVector, r)
 			v, err := evalExpr(ctx, stmt.Order.Expr)
 			if err != nil {
@@ -340,7 +399,10 @@ func (pq *PreparedQuery) output(p *queryPlan, rows []int, ex *engine.Explain) (*
 	start := time.Now()
 	res := &Result{Columns: p.cols, Explain: ex}
 	ctx := &evalCtx{b: p.b, ps: p.params, pcRow: -1, vtRow: -1}
-	for _, r := range rows {
+	for n, r := range rows {
+		if n%exprChunk == 0 && rs.Cancelled() {
+			return nil, cancel.ErrCancelled
+		}
 		setRow(ctx, isVector, r)
 		out := make([]Value, len(p.exprs))
 		for i, ee := range p.exprs {
@@ -379,13 +441,13 @@ func valueLess(a, b Value) bool {
 }
 
 // outputAggregates computes one result row of aggregates.
-func outputAggregates(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
+func outputAggregates(rs *engine.Run, p *queryPlan, stmt *SelectStmt, rows []int, isVector bool, ex *engine.Explain) (*Result, error) {
 	start := time.Now()
 	res := &Result{Columns: p.cols, Explain: ex}
 	out := make([]Value, len(stmt.Items))
 	for i, item := range stmt.Items {
 		f, _ := isAggregate(item.Expr)
-		v, err := computeAggregate(p.b, p.params, f, rows, isVector)
+		v, err := computeAggregate(rs, p.b, p.params, f, rows, isVector)
 		if err != nil {
 			return nil, err
 		}
@@ -398,7 +460,7 @@ func outputAggregates(p *queryPlan, stmt *SelectStmt, rows []int, isVector bool,
 	return res, nil
 }
 
-func computeAggregate(b *binding, ps []Value, f FuncCall, rows []int, isVector bool) (Value, error) {
+func computeAggregate(rs *engine.Run, b *binding, ps []Value, f FuncCall, rows []int, isVector bool) (Value, error) {
 	if f.Name == "count" {
 		if len(f.Args) == 0 {
 			return Value{}, fmt.Errorf("sql: count requires an argument (use count(*))")
@@ -422,7 +484,10 @@ func computeAggregate(b *binding, ps []Value, f FuncCall, rows []int, isVector b
 	var sum float64
 	lo, hi := math.Inf(1), math.Inf(-1)
 	n := 0
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%exprChunk == 0 && rs.Cancelled() {
+			return Value{}, cancel.ErrCancelled
+		}
 		setRow(ctx, isVector, r)
 		v, err := evalExpr(ctx, f.Args[0])
 		if err != nil {
@@ -511,10 +576,11 @@ func kernelAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, 
 
 // --- helpers --------------------------------------------------------------------
 
-// allRows materialises the identity selection [0, n) in a pooled vector;
-// hand it back with engine.RecycleRows.
-func allRows(n int) []int {
-	rows := engine.AcquireRows(n)
+// allRows materialises the identity selection [0, n) in an rs-tracked
+// pooled vector (the capacity hint covers every append, so tracking at
+// acquisition is safe); hand it back with rs.RecycleRows.
+func allRows(rs *engine.Run, n int) []int {
+	rows := rs.AcquireRows(n)
 	for i := 0; i < n; i++ {
 		rows = append(rows, i)
 	}
