@@ -262,18 +262,18 @@ func chunkKernel(n int, bind bindFn, cb chunkBlockFn, cs chunkSelFn) *Kernel {
 
 func feqKernel[T number](vals []T) *Kernel {
 	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
-			c := a.f1
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if float64(v) == c {
-					inc = 1
-				}
-				j += inc
+		c := a.f1
+		j := 0
+		for k, v := range vals[lo:hi] {
+			buf[j] = lo + k
+			inc := 0
+			if float64(v) == c {
+				inc = 1
 			}
-			return j
-		},
+			j += inc
+		}
+		return j
+	},
 		func(a KernelArgs, rows, buf []int) int {
 			c := a.f1
 			j := 0
@@ -291,18 +291,18 @@ func feqKernel[T number](vals []T) *Kernel {
 
 func fneKernel[T number](vals []T) *Kernel {
 	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
-			c := a.f1
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if float64(v) != c {
-					inc = 1
-				}
-				j += inc
+		c := a.f1
+		j := 0
+		for k, v := range vals[lo:hi] {
+			buf[j] = lo + k
+			inc := 0
+			if float64(v) != c {
+				inc = 1
 			}
-			return j
-		},
+			j += inc
+		}
+		return j
+	},
 		func(a KernelArgs, rows, buf []int) int {
 			c := a.f1
 			j := 0
@@ -320,18 +320,18 @@ func fneKernel[T number](vals []T) *Kernel {
 
 func fltKernel[T number](vals []T) *Kernel {
 	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
-			c := a.f1
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if float64(v) < c {
-					inc = 1
-				}
-				j += inc
+		c := a.f1
+		j := 0
+		for k, v := range vals[lo:hi] {
+			buf[j] = lo + k
+			inc := 0
+			if float64(v) < c {
+				inc = 1
 			}
-			return j
-		},
+			j += inc
+		}
+		return j
+	},
 		func(a KernelArgs, rows, buf []int) int {
 			c := a.f1
 			j := 0
@@ -349,18 +349,18 @@ func fltKernel[T number](vals []T) *Kernel {
 
 func fleKernel[T number](vals []T) *Kernel {
 	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
-			c := a.f1
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if float64(v) <= c {
-					inc = 1
-				}
-				j += inc
+		c := a.f1
+		j := 0
+		for k, v := range vals[lo:hi] {
+			buf[j] = lo + k
+			inc := 0
+			if float64(v) <= c {
+				inc = 1
 			}
-			return j
-		},
+			j += inc
+		}
+		return j
+	},
 		func(a KernelArgs, rows, buf []int) int {
 			c := a.f1
 			j := 0
@@ -378,18 +378,18 @@ func fleKernel[T number](vals []T) *Kernel {
 
 func fgtKernel[T number](vals []T) *Kernel {
 	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
-			c := a.f1
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if float64(v) > c {
-					inc = 1
-				}
-				j += inc
+		c := a.f1
+		j := 0
+		for k, v := range vals[lo:hi] {
+			buf[j] = lo + k
+			inc := 0
+			if float64(v) > c {
+				inc = 1
 			}
-			return j
-		},
+			j += inc
+		}
+		return j
+	},
 		func(a KernelArgs, rows, buf []int) int {
 			c := a.f1
 			j := 0
@@ -407,18 +407,18 @@ func fgtKernel[T number](vals []T) *Kernel {
 
 func fgeKernel[T number](vals []T) *Kernel {
 	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, lo, hi int, buf []int) int {
-			c := a.f1
-			j := 0
-			for k, v := range vals[lo:hi] {
-				buf[j] = lo + k
-				inc := 0
-				if float64(v) >= c {
-					inc = 1
-				}
-				j += inc
+		c := a.f1
+		j := 0
+		for k, v := range vals[lo:hi] {
+			buf[j] = lo + k
+			inc := 0
+			if float64(v) >= c {
+				inc = 1
 			}
-			return j
-		},
+			j += inc
+		}
+		return j
+	},
 		func(a KernelArgs, rows, buf []int) int {
 			c := a.f1
 			j := 0
@@ -436,24 +436,24 @@ func fgeKernel[T number](vals []T) *Kernel {
 
 func frangeKernel[T number](vals []T) *Kernel {
 	return chunkKernel(len(vals), bindFloat, func(a KernelArgs, b0, b1 int, buf []int) int {
-			lo, hi := a.f1, a.f2
-			j := 0
-			for k, v := range vals[b0:b1] {
-				buf[j] = b0 + k
-				f := float64(v)
-				// Two independent flags combined with & — a && here would
-				// reintroduce a data-dependent short-circuit branch.
-				ge, le := 0, 0
-				if f >= lo {
-					ge = 1
-				}
-				if f <= hi {
-					le = 1
-				}
-				j += ge & le
+		lo, hi := a.f1, a.f2
+		j := 0
+		for k, v := range vals[b0:b1] {
+			buf[j] = b0 + k
+			f := float64(v)
+			// Two independent flags combined with & — a && here would
+			// reintroduce a data-dependent short-circuit branch.
+			ge, le := 0, 0
+			if f >= lo {
+				ge = 1
 			}
-			return j
-		},
+			if f <= hi {
+				le = 1
+			}
+			j += ge & le
+		}
+		return j
+	},
 		func(a KernelArgs, rows, buf []int) int {
 			lo, hi := a.f1, a.f2
 			j := 0

@@ -125,10 +125,10 @@ func TestCompiledFilterMatchesInterpreter(t *testing.T) {
 	}
 
 	interpreted := []string{
-		"st_x(st_point(x, y)) > 500",               // function call
-		"classification = 2 OR z / 0 > 1",          // fallible operand under OR
+		"st_x(st_point(x, y)) > 500",                        // function call
+		"classification = 2 OR z / 0 > 1",                   // fallible operand under OR
 		"z > 1 AND intensity % (intensity - intensity) = 0", // fallible under AND
-		"nosuchcol + 1 > 0",                        // unknown column
+		"nosuchcol + 1 > 0",                                 // unknown column
 	}
 	for _, src := range interpreted {
 		assertSameFilter(t, b, src, rows, false)

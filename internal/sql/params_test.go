@@ -178,7 +178,8 @@ func TestStringParamReroute(t *testing.T) {
 
 // TestShapeKeyQuoteEscaping: an inline string literal containing escaped
 // quotes must not collide with a differently-structured statement whose
-// rendered key would otherwise read the same (the '' escape is re-applied
+// rendered key would otherwise read the same (the doubled-single-quote
+// escape is re-applied
 // when the key is built).
 func TestShapeKeyQuoteEscaping(t *testing.T) {
 	k1, _, _, err := parameterize("SELECT 'x' AS a , 'y' FROM t")
@@ -276,7 +277,7 @@ func TestRebindMatchesFreshPrepare(t *testing.T) {
 		{"classification = %g", 1, 1},
 		{"ST_Contains(ST_MakeEnvelope(%g, %g, %g, %g), ST_Point(x, y))", 4, 4},
 		{"z - 2*intensity > %g", 1, 2}, // the inline 2 extracts too
-		{"z / %g > 1", 1, 2}, // parameterised denominator: runtime-checked
+		{"z / %g > 1", 1, 2},           // parameterised denominator: runtime-checked
 		{"abs(z - %g) <= %g", 2, 2},
 		{"NOT (scan_angle >= %g)", 1, 1},
 	}
