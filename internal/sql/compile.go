@@ -29,8 +29,9 @@
 // KernelArgs): a compiled filter does not bake ParamRef constants into its
 // closures — it reads them from the plan's paramStore, so a shape-cache
 // rebind updates the store in place and the compiled kernel serves the new
-// literal vector without recompiling. Literal AST nodes (NumberLit) still
-// compile to embedded constants: they exist only in plans that never rebind.
+// literal vector without recompiling. Literal AST nodes (NumberLit) read
+// through the store's literal slots too — rebinds never rewrite those, but
+// the kernel closures stay uniformly constant-free (the constslot invariant).
 // One deliberate exception: a ParamRef is never "provably non-zero", so a
 // parameterised division/modulo denominator always takes the runtime-checked
 // arm — a rebind could make it zero.
@@ -50,8 +51,20 @@ import (
 // closures (which capture the store pointer) always see the current vector.
 // Non-numeric parameters mirror as NaN — a compiled filter never reads them
 // (compileNum rejects non-numeric ParamRefs at compile time).
+//
+// lits holds literal (NumberLit) constants appended at compile time: a
+// rebind never touches them, but the compiled kernels still read every
+// constant through the store, so no closure embeds a value the plan cache
+// cannot see (the constslot invariant).
 type paramStore struct {
 	nums []float64
+	lits []float64
+}
+
+// lit appends a literal constant and returns its slot index.
+func (s *paramStore) lit(v float64) int {
+	s.lits = append(s.lits, v)
+	return len(s.lits) - 1
 }
 
 // newParamStore mirrors params into a fresh slot array.
@@ -120,6 +133,10 @@ func (f *compiledFilter) apply(tok *cancel.Token, rows []int) ([]int, error) {
 // compilePCFilter compiles conjunct e into a vector kernel over the bound
 // point cloud, reporting ok=false for shapes the interpreter must keep.
 func compilePCFilter(b *binding, slots *paramStore, e Expr) (*compiledFilter, bool) {
+	if slots == nil {
+		// Plans without parameters still need a store for literal slots.
+		slots = &paramStore{}
+	}
 	pred, _, ok := compileChunkPred(b, slots, e)
 	if !ok {
 		return nil, false
@@ -299,8 +316,12 @@ func cmpChunkPred(l, r numEval, op string) chunkPred {
 func compileNum(b *binding, slots *paramStore, e Expr) (ev numEval, mayErr bool, ok bool) {
 	switch t := e.(type) {
 	case NumberLit:
-		c := t.Value
+		// Literal-slot read: the constant lives in the plan's store like a
+		// ParamRef (rebinds never rewrite it, but the kernel closure stays
+		// constant-free either way).
+		idx := slots.lit(t.Value)
 		return func(rows []int, dst []float64) error {
+			c := slots.lits[idx]
 			for i := range dst[:len(rows)] {
 				dst[i] = c
 			}
