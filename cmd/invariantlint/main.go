@@ -1,0 +1,142 @@
+// invariantlint runs the repo's custom static-analysis suite (see
+// internal/analysis) over a set of packages and fails the build on any
+// invariant violation.
+//
+// Usage:
+//
+//	go run ./cmd/invariantlint [flags] ./...
+//
+// Flags:
+//
+//	-json       emit diagnostics as a JSON array (machine-readable; CI)
+//	-analyzers  comma-separated subset of analyzers to run (default: all)
+//	-list       print the analyzer suite and exit
+//
+// Exit status: 0 when every package loads and no diagnostics survive
+// suppression; 1 on diagnostics; 2 on load/usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"gisnav/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("invariantlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	names := fs.String("analyzers", "", "comma-separated analyzers to run (default all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, n := range strings.Split(*names, ",") {
+			a := analysis.ByName(strings.TrimSpace(n))
+			if a == nil {
+				fmt.Fprintf(stderr, "invariantlint: unknown analyzer %q\n", n)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "invariantlint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "invariantlint: %v\n", err)
+		return 2
+	}
+	paths, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "invariantlint: %v\n", err)
+		return 2
+	}
+
+	// Analysis of distinct packages is independent; loading serialises
+	// inside the loader. Keep package order stable in the output.
+	type result struct {
+		diags []analysis.Diagnostic
+		err   error
+	}
+	results := make([]result, len(paths))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pkg, err := loader.Load(path)
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			results[i] = result{diags: analysis.RunAnalyzers(pkg, analyzers)}
+		}()
+	}
+	wg.Wait()
+
+	var diags []analysis.Diagnostic
+	loadFailed := false
+	for i, r := range results {
+		if r.err != nil {
+			loadFailed = true
+			fmt.Fprintf(stderr, "invariantlint: %s: %v\n", paths[i], r.err)
+			continue
+		}
+		diags = append(diags, r.diags...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "invariantlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "invariantlint: %d violation(s) in %d package(s)\n", len(diags), len(paths))
+		}
+	}
+	switch {
+	case loadFailed:
+		return 2
+	case len(diags) > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestAllAnalyzers(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) = non-nil")
+	}
+}
+
+// TestParseIgnores pins directive parsing: standalone directives target the
+// next line, trailing directives their own line, and directives without a
+// reason are malformed (reported, suppressing nothing).
+func TestParseIgnores(t *testing.T) {
+	src := `package p
+
+//lint:ignore constslot standalone directives target the next line
+var a int
+
+var b int //lint:ignore releaselist trailing directives target their own line
+
+//lint:ignore epochguard
+var c int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed []string
+	dirs := parseIgnores(fset, f, func(pos token.Pos, msg string) {
+		malformed = append(malformed, msg)
+	})
+	if len(dirs) != 2 {
+		t.Fatalf("parseIgnores: %d well-formed directives, want 2", len(dirs))
+	}
+	if dirs[0].analyzer != "constslot" || dirs[0].line != 4 {
+		t.Errorf("standalone directive: analyzer=%q line=%d, want constslot line 4", dirs[0].analyzer, dirs[0].line)
+	}
+	if dirs[1].analyzer != "releaselist" || dirs[1].line != 6 {
+		t.Errorf("trailing directive: analyzer=%q line=%d, want releaselist line 6", dirs[1].analyzer, dirs[1].line)
+	}
+	if len(malformed) != 1 || !strings.Contains(malformed[0], "malformed") {
+		t.Errorf("malformed directives = %v, want one malformed report", malformed)
+	}
+}
+
+// TestApplyIgnoresExactlyOne pins the scalpel semantics at the unit level:
+// with two identical diagnostics on a line and one directive, exactly one
+// survives.
+func TestApplyIgnoresExactlyOne(t *testing.T) {
+	src := `package p
+
+//lint:ignore constslot reason
+var a int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := fset.Position(f.Decls[0].Pos()) // line 4
+	diags := []Diagnostic{
+		{Analyzer: "constslot", Pos: pos, Message: "first"},
+		{Analyzer: "constslot", Pos: pos, Message: "second"},
+		{Analyzer: "releaselist", Pos: pos, Message: "other analyzer"},
+	}
+	kept := applyIgnores(fset, []*ast.File{f}, diags)
+	if len(kept) != 2 {
+		t.Fatalf("applyIgnores kept %d diagnostics, want 2 (one suppressed): %v", len(kept), kept)
+	}
+	for _, d := range kept {
+		if d.Message == "first" {
+			t.Error("directive suppressed the wrong diagnostic order; 'first' should be consumed")
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// boundedcache: cache growth bounds and observability (ROADMAP, PR 5/6).
+//
+// Every cache in the serving path (plan cache, statement cache, skeleton
+// front) must be bounded — a `len(cache) >= max...` check that drops or
+// rebuilds before inserting — and must surface its occupancy through a
+// stats accessor, so capacity regressions show up in the pinning tests
+// instead of as unbounded memory growth under churny workloads.
+//
+// Mechanically: every map that is a cache — a map field of a *cache*-named
+// struct, or a *cache*/*front*-named package-level map variable — must be
+// (a) compared against a bound somewhere in the package (len(...) against a
+// limit) and (b) read by a *stats*-named function or method. Either absence
+// is a diagnostic on the map's declaration.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BoundedCacheAnalyzer enforces cache bounding and stats exposure.
+var BoundedCacheAnalyzer = &Analyzer{
+	Name: "boundedcache",
+	Doc:  "cache maps must be bounded (len >= max check before insert) and visible through a stats accessor",
+	Run:  runBoundedCache,
+}
+
+// cacheField is one cache map (struct field or package-level var) awaiting
+// evidence of a bound check and stats exposure.
+type cacheField struct {
+	owner   string // declaring struct name; "" for package-level vars
+	field   *types.Var
+	pos     token.Pos
+	bounded bool
+	inStats bool
+}
+
+// label renders the map's name for diagnostics.
+func (cf *cacheField) label() string {
+	if cf.owner == "" {
+		return cf.field.Name()
+	}
+	return cf.owner + "." + cf.field.Name()
+}
+
+func runBoundedCache(pass *Pass) {
+	fields := cacheMaps(pass)
+	if len(fields) == 0 {
+		return
+	}
+	byObj := map[*types.Var]*cacheField{}
+	for _, cf := range fields {
+		byObj[cf.field] = cf
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			statsFn := containsName(fd.Name.Name, "stats")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch t := n.(type) {
+				case *ast.BinaryExpr:
+					markLenBoundCheck(pass, byObj, t)
+				case *ast.Ident:
+					if statsFn {
+						if cf := cacheUse(pass, byObj, t); cf != nil {
+							cf.inStats = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, cf := range fields {
+		if !cf.bounded {
+			pass.Reportf(cf.pos,
+				"cache map %s has no bound check; compare len(...) against a max before inserting (drop or rebuild past the bound)",
+				cf.label())
+		}
+		if !cf.inStats {
+			pass.Reportf(cf.pos,
+				"cache map %s is not exposed by any stats accessor; surface its occupancy so capacity regressions are observable",
+				cf.label())
+		}
+	}
+}
+
+// cacheMaps collects the cache maps of the package in declaration order:
+// map fields of *cache*-named structs, and package-level map variables
+// named *cache* or *front*.
+func cacheMaps(pass *Pass) []*cacheField {
+	var out []*cacheField
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.TypeName:
+			if !containsName(name, "cache") {
+				continue
+			}
+			named, ok := types.Unalias(obj.Type()).(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				fld := st.Field(i)
+				if typeIsMap(fld.Type()) {
+					out = append(out, &cacheField{owner: name, field: fld, pos: fld.Pos()})
+				}
+			}
+		case *types.Var:
+			if typeIsMap(obj.Type()) && (containsName(name, "cache") || containsName(name, "front")) {
+				out = append(out, &cacheField{field: obj, pos: obj.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// markLenBoundCheck recognises `len(x) >= limit` (any comparison, either
+// side) over a tracked cache map, marking it bounded.
+func markLenBoundCheck(pass *Pass, byObj map[*types.Var]*cacheField, b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.GEQ, token.GTR, token.EQL, token.LEQ, token.LSS:
+	default:
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		call, ok := ast.Unparen(side).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "len" {
+			continue
+		}
+		if cf := cacheUseExpr(pass, byObj, call.Args[0]); cf != nil {
+			cf.bounded = true
+		}
+	}
+}
+
+// cacheUse resolves an identifier (a bare package var, or the Sel of a
+// field selector — both land in Uses) to a tracked cache map.
+func cacheUse(pass *Pass, byObj map[*types.Var]*cacheField, id *ast.Ident) *cacheField {
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return byObj[v]
+	}
+	return nil
+}
+
+// cacheUseExpr is cacheUse over a general expression: unwraps parens and
+// resolves either a plain identifier or a selector's field.
+func cacheUseExpr(pass *Pass, byObj map[*types.Var]*cacheField, e ast.Expr) *cacheField {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return cacheUse(pass, byObj, t)
+	case *ast.SelectorExpr:
+		return cacheUse(pass, byObj, t.Sel)
+	}
+	return nil
+}

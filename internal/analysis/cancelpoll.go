@@ -1,0 +1,265 @@
+// cancelpoll: block-boundary cancellation polling (ROADMAP, PR 6).
+//
+// Kernel loops, interpreter arms and refinement must poll the run's
+// cancellation token at block boundaries — once per scanChunk/exprChunk/
+// refineBlock-sized slice of work — so a fired context stops a scan within
+// one block without paying a per-row atomic load. Two failure shapes:
+//
+//   - missing poll: a block-iteration loop (one that advances by a chunk
+//     constant, or carries a faultpoint.Hit block checkpoint) contains no
+//     Cancelled() poll on any path through its body;
+//   - per-row poll: a Cancelled() call sits unguarded inside a per-element
+//     loop (a range over a numeric selection/values slice, or a unit-step
+//     index loop) instead of behind a `i%chunk == 0`-style mask or up in
+//     the enclosing block loop.
+//
+// A "poll" is a direct .Cancelled() call or a call to a same-package
+// function that (transitively, within the package) polls — the
+// groupPassCheckpoint pattern.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CancelPollAnalyzer enforces block-boundary cancellation polling.
+var CancelPollAnalyzer = &Analyzer{
+	Name: "cancelpoll",
+	Doc:  "block loops must poll Run.Cancelled() at block boundaries — never missing, never per row",
+	Run:  runCancelPoll,
+}
+
+func runCancelPoll(pass *Pass) {
+	pollers := packagePollers(pass)
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				checkBlockLoop(pass, pollers, loop, loop.Body, forLoopRefs(loop))
+			case *ast.RangeStmt:
+				checkBlockLoop(pass, pollers, loop, loop.Body, loop.Body)
+			case *ast.CallExpr:
+				if isPollCall(pass, pollers, loop) {
+					checkPerRowPoll(pass, loop, stack)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// packagePollers computes, to a fixpoint, the package functions that poll
+// cancellation (contain a .Cancelled() call directly or call another
+// package poller).
+func packagePollers(pass *Pass) map[types.Object]bool {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	pollers := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range decls {
+			if pollers[obj] {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && isPollCall(pass, pollers, call) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				pollers[obj] = true
+				changed = true
+			}
+		}
+	}
+	return pollers
+}
+
+// isPollCall reports whether call polls cancellation: x.Cancelled() or a
+// call to a known package poller.
+func isPollCall(pass *Pass, pollers map[types.Object]bool, call *ast.CallExpr) bool {
+	name, isSel := calleeName(call)
+	if isSel && name == "Cancelled" {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil && pollers[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// forLoopRefs bundles the parts of a ForStmt scanned for chunk-constant
+// references (cond, post and body — a loop that advances or bounds itself
+// by a chunk constant is a block loop).
+func forLoopRefs(loop *ast.ForStmt) ast.Node { return loop }
+
+// checkBlockLoop reports a block loop whose body never polls cancellation.
+func checkBlockLoop(pass *Pass, pollers map[types.Object]bool, loop ast.Node, body *ast.BlockStmt, refScope ast.Node) {
+	if !isBlockLoop(pass, refScope) {
+		return
+	}
+	polled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if polled {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested closure's poll is not this loop's poll
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isPollCall(pass, pollers, call) {
+			polled = true
+		}
+		return !polled
+	})
+	if !polled {
+		pass.Reportf(loop.Pos(),
+			"block loop does not poll cancellation; check Run.Cancelled() (or the KernelArgs token) once per block")
+	}
+}
+
+// isBlockLoop reports whether the loop is a block-iteration loop: it
+// references a chunk/block size constant (scanChunk, exprChunk,
+// refineBlock) outside nested closures, or carries a faultpoint.Hit block
+// checkpoint.
+func isBlockLoop(pass *Pass, loop ast.Node) bool {
+	block := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if block {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if !isChunkConstName(t.Name) {
+				return true
+			}
+			if obj, ok := pass.TypesInfo.Uses[t]; ok {
+				if _, isConst := obj.(*types.Const); isConst {
+					block = true
+				}
+			}
+		case *ast.CallExpr:
+			if name, isSel := calleeName(t); isSel && name == "Hit" {
+				if isPackageCallee(pass, t) {
+					block = true
+				}
+			}
+		}
+		return !block
+	})
+	return block
+}
+
+// checkPerRowPoll reports a poll that runs per element of a row-scale loop
+// without a block-counter guard.
+func checkPerRowPoll(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	// Find the innermost enclosing loop, stopping at closure boundaries,
+	// and remember the path for guard detection.
+	loopIdx := -1
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			i = -1
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopIdx = i
+		}
+		if loopIdx >= 0 {
+			break
+		}
+	}
+	if loopIdx < 0 {
+		return
+	}
+	loop := stack[loopIdx]
+	if !perElementLoop(pass, loop) {
+		return
+	}
+	// Guarded: any if-condition between the loop and the poll contains a
+	// modulo expression (the `i%scanChunk == 0` mask).
+	for i := loopIdx + 1; i < len(stack); i++ {
+		if ifs, ok := stack[i].(*ast.IfStmt); ok && containsModulo(ifs.Cond) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"cancellation polled per row; poll at block boundaries instead (mask with a chunk counter or hoist into the block loop)")
+}
+
+// perElementLoop reports whether loop visits individual rows/values: a
+// range over a slice of basic elements, or a unit-step index loop whose
+// induction variable indexes a slice in the body.
+func perElementLoop(pass *Pass, loop ast.Node) bool {
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		t := pass.TypesInfo.TypeOf(l.X)
+		if t == nil {
+			return false
+		}
+		if s, ok := t.Underlying().(*types.Slice); ok {
+			return basicKind(s.Elem()) != types.Invalid
+		}
+		return false
+	case *ast.ForStmt:
+		inc, ok := l.Post.(*ast.IncDecStmt)
+		if !ok || inc.Tok != token.INC {
+			return false
+		}
+		indVar, ok := inc.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		indexes := false
+		ast.Inspect(l.Body, func(n ast.Node) bool {
+			if indexes {
+				return false
+			}
+			if ix, ok := n.(*ast.IndexExpr); ok {
+				if id, ok := ix.Index.(*ast.Ident); ok && id.Name == indVar.Name {
+					indexes = true
+				}
+			}
+			// Unit-step loops whose variable feeds row accessors
+			// (col.Value(i)) count as per-element too.
+			if c, ok := n.(*ast.CallExpr); ok {
+				for _, arg := range c.Args {
+					if id, ok := arg.(*ast.Ident); ok && id.Name == indVar.Name {
+						indexes = true
+					}
+				}
+			}
+			return !indexes
+		})
+		return indexes
+	}
+	return false
+}
+
+// containsModulo reports whether expr contains a % operation.
+func containsModulo(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.REM {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,227 @@
+// constslot: the kernel constant-slot invariant (ROADMAP, PR 4).
+//
+// No function compiled into an engine/SQL/grouped kernel may capture a
+// predicate constant via closure: constants must flow through the per-run
+// KernelArgs record (engine kernels) or the plan's paramStore slots
+// (compiled SQL kernels). A kernel that embeds a constant silently breaks
+// rebinding — the plan cache would serve it for every constant vector —
+// so the check is build-breaking, not advisory.
+//
+// Mechanically: a function literal in "kernel position" (its declared
+// context type is one of the kernel function types, or it is assigned to a
+// field of an engine Kernel composite literal) must not reference, from an
+// enclosing scope, a local variable of a constant-like scalar type
+// (float64/float32/int64/uint64 — the types predicate constants travel
+// as). Slices, structs, pointers (the paramStore) and integer lengths stay
+// capturable; package-level state is exempt (pools, not constants).
+//
+// The one sanctioned deviation — SQL NumberLit constants, which inline by
+// policy because literal-AST plans never rebind — carries a
+// //lint:ignore constslot directive at the capture site.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// kernelFuncTypeNames are the named function types whose values are
+// compiled kernels (engine kernels.go, sql compile.go). A func literal
+// declared with one of these context types is a kernel body.
+var kernelFuncTypeNames = map[string]bool{
+	"blockFn":      true,
+	"selFn":        true,
+	"chunkBlockFn": true,
+	"chunkSelFn":   true,
+	"chunkPred":    true,
+	"numEval":      true,
+}
+
+// kernelStructName is the struct whose function-typed fields hold compiled
+// kernels regardless of field type names.
+const kernelStructName = "Kernel"
+
+// ConstSlotAnalyzer enforces the kernel constant-slot invariant.
+var ConstSlotAnalyzer = &Analyzer{
+	Name: "constslot",
+	Doc:  "kernel closures must not capture predicate constants; constants flow through KernelArgs/paramStore slots",
+	Run:  runConstSlot,
+}
+
+func runConstSlot(pass *Pass) {
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if kernelContext(pass, lit, stack) {
+				checkKernelCaptures(pass, lit)
+			}
+			return true
+		})
+	}
+}
+
+// kernelContext reports whether lit appears where a kernel function type is
+// expected: as an argument whose parameter type is a kernel func type, as a
+// result of a function returning one, assigned to a variable declared as
+// one, or as a field value of a Kernel composite literal.
+func kernelContext(pass *Pass, lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if sig := callSignature(pass, p); sig != nil {
+			for i, arg := range p.Args {
+				if arg == ast.Expr(lit) {
+					if t := paramTypeAt(sig, i); kernelFuncTypeNames[namedTypeName(t)] {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		sig := enclosingSignature(pass, stack)
+		if sig == nil {
+			return false
+		}
+		for i, res := range p.Results {
+			if res == ast.Expr(lit) && i < sig.Results().Len() {
+				if kernelFuncTypeNames[namedTypeName(sig.Results().At(i).Type())] {
+					return true
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if rhs == ast.Expr(lit) && i < len(p.Lhs) {
+				if kernelFuncTypeNames[namedTypeName(pass.TypesInfo.TypeOf(p.Lhs[i]))] {
+					return true
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		if p.Type != nil && kernelFuncTypeNames[namedTypeName(pass.TypesInfo.TypeOf(p.Type))] {
+			return true
+		}
+	case *ast.KeyValueExpr:
+		// Field of a composite literal: a Kernel struct field, or a field
+		// whose declared type is a kernel func type.
+		if len(stack) < 2 {
+			return false
+		}
+		cl, ok := stack[len(stack)-2].(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		clType := pass.TypesInfo.TypeOf(cl)
+		if namedTypeName(clType) == kernelStructName {
+			return true
+		}
+		if key, ok := p.Key.(*ast.Ident); ok {
+			if st, ok := clType.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					fld := st.Field(i)
+					if fld.Name() == key.Name && kernelFuncTypeNames[namedTypeName(fld.Type())] {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// callSignature resolves the (instantiated) signature of a call's callee.
+func callSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// paramTypeAt returns the type of argument i of sig, handling variadics.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if i < params.Len() {
+		t := params.At(i).Type()
+		if sig.Variadic() && i == params.Len()-1 {
+			if s, ok := t.(*types.Slice); ok {
+				return s.Elem()
+			}
+		}
+		return t
+	}
+	if sig.Variadic() && params.Len() > 0 {
+		if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+	}
+	return nil
+}
+
+// enclosingSignature finds the signature of the innermost enclosing
+// function of the node whose ancestors are stack.
+func enclosingSignature(pass *Pass, stack []ast.Node) *types.Signature {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			if sig, ok := pass.TypesInfo.TypeOf(fn).(*types.Signature); ok {
+				return sig
+			}
+			return nil
+		case *ast.FuncDecl:
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				return obj.Type().(*types.Signature)
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// constLikeKinds are the scalar kinds predicate constants travel as:
+// float-domain constants and bind-time normalised integer bounds.
+var constLikeKinds = map[types.BasicKind]string{
+	types.Float64: "float64",
+	types.Float32: "float32",
+	types.Int64:   "int64",
+	types.Uint64:  "uint64",
+}
+
+// checkKernelCaptures flags constant-like free variables of a kernel body.
+func checkKernelCaptures(pass *Pass, lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		// Captured = declared outside the literal's extent but not at
+		// package scope (package state is pools and config, not per-plan
+		// constants).
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		if v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if kind, bad := constLikeKinds[basicKind(v.Type())]; bad {
+			seen[v] = true
+			pass.Reportf(id.Pos(),
+				"kernel closure captures %s variable %q; predicate constants must flow through KernelArgs/paramStore slots",
+				kind, id.Name)
+		}
+		return true
+	})
+}

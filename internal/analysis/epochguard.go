@@ -1,0 +1,248 @@
+// epochguard: epoch capture and invalidation discipline (ROADMAP, PR 5).
+//
+// Tables that hand out zero-copy views (PointCloud, VectorTable) version
+// their state with an epoch counter. Two rules keep cached plans and
+// borrowed views safe:
+//
+//   - backing state of an epoch-owned table — slice fields and column-map
+//     fields — may only be mutated inside the sanctioned entry points
+//     (Append*, InvalidateIndexes, constructors/loaders, ensure*/
+//     *Locked internals that run under the table's lock). Any other
+//     assignment bypasses the epoch bump and leaves cached plans validating
+//     against state they no longer describe;
+//
+//   - a plan builder must capture the table's epoch BEFORE reading table
+//     state into the plan: capture-after-read races Append between the read
+//     and the capture, producing a plan that validates as fresh while
+//     holding stale views.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// EpochGuardAnalyzer enforces epoch capture/invalidation discipline.
+var EpochGuardAnalyzer = &Analyzer{
+	Name: "epochguard",
+	Doc:  "epoch-owned table state mutates only via sanctioned entry points; plan builders capture epochs before reading table state",
+	Run:  runEpochGuard,
+}
+
+func runEpochGuard(pass *Pass) {
+	owned := epochOwnedTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !epochMutationExempt(fd) {
+				checkEpochMutations(pass, owned, fd)
+			}
+			checkEpochCaptureOrder(pass, fd)
+		}
+	}
+}
+
+// epochOwnedTypes finds the named struct types in this package that carry
+// an epoch counter, mapping each to the set of protected field names: its
+// slice-typed fields and its map fields (posting lists, column maps).
+func epochOwnedTypes(pass *Pass) map[*types.Named]map[string]bool {
+	owned := map[*types.Named]map[string]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := types.Unalias(tn.Type()).(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		hasEpoch := false
+		fields := map[string]bool{}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if strings.EqualFold(fld.Name(), "epoch") {
+				hasEpoch = true
+				continue
+			}
+			if typeIsSlice(fld.Type()) || typeIsMap(fld.Type()) {
+				fields[fld.Name()] = true
+			}
+		}
+		if hasEpoch && len(fields) > 0 {
+			owned[named] = fields
+		}
+	}
+	return owned
+}
+
+// epochMutationExempt reports whether fd is a sanctioned mutation entry
+// point: Append*/New*/Load*/load*/init* constructors and loaders,
+// InvalidateIndexes itself, ensure* lazy builders and *Locked internals
+// (both run under the owning table's lock and manage the epoch
+// explicitly).
+func epochMutationExempt(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	switch {
+	case strings.HasPrefix(name, "Append"),
+		strings.HasPrefix(name, "New"),
+		strings.HasPrefix(name, "Load"), strings.HasPrefix(name, "load"),
+		strings.HasPrefix(name, "init"), strings.HasPrefix(name, "Init"),
+		strings.HasPrefix(name, "ensure"), strings.HasPrefix(name, "Ensure"),
+		strings.HasSuffix(name, "Locked"),
+		name == "InvalidateIndexes":
+		return true
+	}
+	return false
+}
+
+// checkEpochMutations flags writes to protected fields of epoch-owned
+// values inside a non-exempt function.
+func checkEpochMutations(pass *Pass, owned map[*types.Named]map[string]bool, fd *ast.FuncDecl) {
+	report := func(sel *ast.SelectorExpr) {
+		base, fldName, ok := ownedFieldSelector(pass, owned, sel)
+		if !ok {
+			return
+		}
+		pass.Reportf(sel.Pos(),
+			"mutation of epoch-owned field %s.%s outside Append/InvalidateIndexes (or a locked ensure*/*Locked internal); bypassing the epoch bump leaves cached plans validating stale state",
+			base, fldName)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range t.Lhs {
+				if sel, ok := assignedSelector(lhs); ok {
+					report(sel)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := assignedSelector(t.X); ok {
+				report(sel)
+			}
+		case *ast.CallExpr:
+			// append-into / delete() on a protected map count as mutations
+			// only when re-assigned (handled by AssignStmt); delete(m, k)
+			// mutates in place.
+			if id, isIdent := ast.Unparen(t.Fun).(*ast.Ident); isIdent && id.Name == "delete" && len(t.Args) == 2 {
+				if sel, ok := assignedSelector(t.Args[0]); ok {
+					report(sel)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assignedSelector unwraps an assignment target to the field selector being
+// written: x.f, x.f[i] and x.f[i:j] all write into field f.
+func assignedSelector(e ast.Expr) (*ast.SelectorExpr, bool) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return t, true
+	case *ast.IndexExpr:
+		return assignedSelector(t.X)
+	case *ast.SliceExpr:
+		return assignedSelector(t.X)
+	}
+	return nil, false
+}
+
+// ownedFieldSelector reports whether sel selects a protected field of an
+// epoch-owned type, returning the receiver path and field name.
+func ownedFieldSelector(pass *Pass, owned map[*types.Named]map[string]bool, sel *ast.SelectorExpr) (string, string, bool) {
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", "", false
+	}
+	fields, ok := owned[named]
+	if !ok || !fields[sel.Sel.Name] {
+		return "", "", false
+	}
+	base := exprPath(sel.X)
+	if base == "" {
+		base = named.Obj().Name()
+	}
+	return base, sel.Sel.Name, true
+}
+
+// checkEpochCaptureOrder flags table-state reads that lexically precede the
+// epoch capture in the same function. An epoch capture is an assignment
+// whose RHS contains a call to <recv>.Epoch(); once found, every earlier
+// method call on the same receiver path (other than Epoch itself and
+// pure-config accessors with no arguments returning nothing readable is
+// indistinguishable, so: any method call) is a read-before-capture.
+func checkEpochCaptureOrder(pass *Pass, fd *ast.FuncDecl) {
+	// Find epoch captures: receiver path -> position of first capture.
+	captures := map[string]ast.Node{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Epoch" {
+					if path := exprPath(sel.X); path != "" {
+						if _, seen := captures[path]; !seen {
+							captures[path] = as
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if len(captures) == 0 {
+		return
+	}
+	// Flag method calls on a captured receiver that precede its capture.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name == "Epoch" {
+			return true
+		}
+		path := exprPath(sel.X)
+		if path == "" {
+			return true
+		}
+		cap, ok := captures[path]
+		if !ok || call.Pos() >= cap.Pos() {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"table state read %s.%s(...) before epoch capture; capture %s.Epoch() first so rebinding can detect a concurrent Append",
+			path, sel.Sel.Name, path)
+		return true
+	})
+}

@@ -1,0 +1,367 @@
+// Package loading for the analyzers: parse + type-check module packages
+// from source using only the standard library (go/parser, go/types and the
+// "source" importer for the standard library). No go/packages, no network,
+// no export data — the suite must run in the same offline container the
+// build runs in.
+//
+// Concurrency contract: a Loader is safe for concurrent use. All loading
+// and type-checking serialises behind one mutex (the source importer and
+// the type-checker share mutable caches), while cache hits return without
+// re-checking — so N goroutines analysing N packages contend only on the
+// first load of each package. The -race test in loader_test.go pins this.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("gisnav/internal/engine"), or the directory
+	// for packages loaded by directory (testdata).
+	Path string
+	// Dir is the directory holding the package's files.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and caches type-checked packages of one module.
+type Loader struct {
+	// ModuleRoot is the directory containing go.mod; ModulePath its module
+	// path. Both are derived by NewLoader.
+	ModuleRoot string
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.Importer
+
+	mu      sync.Mutex
+	pkgs    map[string]*Package
+	errs    map[string]error
+	loading map[string]bool
+	ctxt    build.Context
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctxt := build.Default
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		errs:       map[string]error{},
+		loading:    map[string]bool{},
+		ctxt:       ctxt,
+	}, nil
+}
+
+// Fset exposes the loader's file set (shared across all loaded packages).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// findModuleRoot walks up from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load returns the type-checked package for an import path inside the
+// module (or, via LoadDir, a directory). Results — including failures —
+// are cached.
+func (l *Loader) Load(path string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadLocked(path)
+}
+
+// LoadDir loads the package in an arbitrary directory (testdata packages
+// that live outside the module's build graph).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadDirLocked(abs, abs)
+}
+
+// loadLocked resolves an import path to its directory and loads it.
+// Callers hold l.mu; recursive imports re-enter on the same goroutine
+// without re-locking.
+func (l *Loader) loadLocked(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if err, ok := l.errs[path]; ok {
+		return nil, err
+	}
+	dir, ok := l.dirForImport(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: import %q is outside module %s", path, l.ModulePath)
+	}
+	return l.loadDirLocked(path, dir)
+}
+
+// dirForImport maps a module-internal import path to its directory.
+func (l *Loader) dirForImport(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// loadDirLocked parses and type-checks the package in dir, caching under
+// key. Test files (_test.go) and files excluded by build constraints are
+// skipped — the analyzers enforce production invariants on the default
+// build graph.
+func (l *Loader) loadDirLocked(key, dir string) (*Package, error) {
+	if l.loading[key] {
+		err := fmt.Errorf("analysis: import cycle through %q", key)
+		l.errs[key] = err
+		return nil, err
+	}
+	l.loading[key] = true
+	defer delete(l.loading, key)
+
+	pkg, err := l.parseAndCheck(key, dir)
+	if err != nil {
+		l.errs[key] = err
+		return nil, err
+	}
+	l.pkgs[key] = pkg
+	return pkg, nil
+}
+
+// parseAndCheck does the real work of loadDirLocked.
+func (l *Loader) parseAndCheck(key, dir string) (*Package, error) {
+	names, err := l.sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: &moduleImporter{l: l},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(key, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", key, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", key, err)
+	}
+	return &Package{Path: key, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// sourceFiles lists the buildable non-test .go files of dir, honouring
+// build constraints under the default tag set (so faultinject-tagged files
+// are analysed in their default, disarmed shape).
+func (l *Loader) sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := l.ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// moduleImporter routes module-internal imports through the loader (from
+// source, recursively) and everything else to the standard library's
+// source importer. The loader's mutex is already held when the
+// type-checker calls Import, so recursion stays on one goroutine.
+type moduleImporter struct {
+	l *Loader
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := m.l.dirForImport(path); ok {
+		pkg, err := m.l.loadLocked(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.l.std.Import(path)
+}
+
+// Expand resolves command-line patterns to module import paths. Supported
+// forms: "./..." (every package under the current directory), "dir/...",
+// and plain directory or import paths. Directories named testdata, vendor
+// or starting with "." or "_" are skipped, as the go tool does.
+func (l *Loader) Expand(cwd string, patterns []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := pat, false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			base, recursive = rest, true
+			if base == "." || base == "" {
+				base = "."
+			}
+		} else if pat == "..." {
+			base, recursive = ".", true
+		}
+		dir := base
+		if !filepath.IsAbs(dir) {
+			if strings.HasPrefix(base, l.ModulePath) {
+				d, ok := l.dirForImport(base)
+				if !ok {
+					return nil, fmt.Errorf("analysis: cannot resolve pattern %q", pat)
+				}
+				dir = d
+			} else {
+				dir = filepath.Join(cwd, base)
+			}
+		}
+		if !recursive {
+			if p, ok := l.importForDir(dir); ok {
+				add(p)
+				continue
+			}
+			return nil, fmt.Errorf("analysis: %q is outside module %s", pat, l.ModulePath)
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			files, ferr := l.sourceFiles(path)
+			if ferr != nil || len(files) == 0 {
+				return nil
+			}
+			if p, ok := l.importForDir(path); ok {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// importForDir maps a directory inside the module back to its import path.
+func (l *Loader) importForDir(dir string) (string, bool) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", false
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	if rel == "." {
+		return l.ModulePath, true
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), true
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLoaderConcurrent loads overlapping real packages from many
+// goroutines at once; run under -race this pins the loader's concurrency
+// contract (all loading serialises behind one mutex, cache hits are safe).
+func TestLoaderConcurrent(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{
+		l.ModulePath + "/internal/cancel",
+		l.ModulePath + "/internal/colstore",
+		l.ModulePath + "/internal/grid",
+		l.ModulePath + "/internal/engine",
+		l.ModulePath + "/internal/sql",
+	}
+	var wg sync.WaitGroup
+	for _, p := range paths {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				pkg, err := l.Load(p)
+				if err != nil {
+					t.Errorf("Load(%s): %v", p, err)
+					return
+				}
+				if pkg.Types == nil || len(pkg.Files) == 0 {
+					t.Errorf("Load(%s): incomplete package", p)
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+
+	// Concurrent analysis over the loaded packages must also be clean: the
+	// driver fans out RunAnalyzers per package.
+	wg = sync.WaitGroup{}
+	for _, p := range paths {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			pkg, err := l.Load(p)
+			if err != nil {
+				t.Errorf("Load(%s): %v", p, err)
+				return
+			}
+			RunAnalyzers(pkg, All())
+		}(p)
+	}
+	wg.Wait()
+}
+
+// TestExpandSkipsTestdata checks pattern expansion walks the module like
+// the go tool: recursive patterns skip testdata, vendor and hidden dirs.
+func TestExpandSkipsTestdata(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Expand(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Expand(./...) included testdata package %s", p)
+		}
+		if p == l.ModulePath+"/internal/analysis" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Expand(./...) from internal/analysis missed the package itself; got %v", paths)
+	}
+}
+
+// TestLoadOutsideModule rejects import paths outside the module.
+func TestLoadOutsideModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("example.com/not/ours"); err == nil {
+		t.Error("Load outside module path: want error, got nil")
+	}
+}

@@ -1,0 +1,47 @@
+// Test fixture for the boundedcache analyzer: cache maps missing a bound
+// check or stats exposure. Mirrors the plan/statement cache shape without
+// importing the engine or SQL layers.
+package boundedcache
+
+const maxPlans = 4
+
+// planCache mirrors the engine's compiled-plan cache: plans is bounded and
+// surfaced through stats; aux is neither.
+type planCache struct {
+	plans map[string]int
+	aux   map[string]int // want `cache map planCache.aux has no bound check` `cache map planCache.aux is not exposed by any stats accessor`
+}
+
+func (c *planCache) insert(key string, v int) {
+	if c.plans == nil || len(c.plans) >= maxPlans {
+		c.plans = map[string]int{} // drop-and-rebuild past the bound
+	}
+	c.plans[key] = v
+	if c.aux == nil {
+		c.aux = map[string]int{}
+	}
+	c.aux[key] = v
+}
+
+// CacheSnapshot is the stats record; reading plans here satisfies the
+// observability half of the invariant.
+type CacheSnapshot struct {
+	Plans int
+}
+
+func (c *planCache) stats() CacheSnapshot {
+	return CacheSnapshot{Plans: len(c.plans)}
+}
+
+// shapeFront is a package-level cache map: bounded below but invisible to
+// any stats accessor.
+var shapeFront = map[string]int{} // want `cache map shapeFront is not exposed by any stats accessor`
+
+const maxFront = 8
+
+func frontInsert(key string, v int) {
+	if len(shapeFront) >= maxFront {
+		shapeFront = map[string]int{}
+	}
+	shapeFront[key] = v
+}

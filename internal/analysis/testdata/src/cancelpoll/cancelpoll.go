@@ -1,0 +1,94 @@
+// Test fixture for the cancelpoll analyzer: block loops that forget to
+// poll cancellation, and polls demoted to per-row checks. Mirrors the
+// engine's chunked-scan shape without importing it.
+package cancelpoll
+
+// Token mirrors cancel.Token.
+type Token struct{}
+
+func (t *Token) Cancelled() bool { return false }
+
+// scanChunk marks loops that step in blocks.
+const scanChunk = 1024
+
+// badMissingPoll: a block-iteration loop (steps by scanChunk) with no
+// cancellation poll anywhere in its body.
+func badMissingPoll(tok *Token, vals []float64) int {
+	_ = tok // deliberately never polled
+	n := 0
+	for lo := 0; lo < len(vals); lo += scanChunk { // want `block loop does not poll cancellation`
+		hi := min(lo+scanChunk, len(vals))
+		for i := lo; i < hi; i++ {
+			if vals[i] > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// badPerRow: the poll runs for every element instead of per block.
+func badPerRow(tok *Token, vals []float64) int {
+	n := 0
+	for _, v := range vals {
+		if tok.Cancelled() { // want `cancellation polled per row`
+			return n
+		}
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// goodBlockPoll: one poll per block step.
+func goodBlockPoll(tok *Token, vals []float64) int {
+	n := 0
+	for lo := 0; lo < len(vals); lo += scanChunk {
+		if tok.Cancelled() {
+			return n
+		}
+		hi := min(lo+scanChunk, len(vals))
+		for i := lo; i < hi; i++ {
+			if vals[i] > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// goodMasked: a per-element loop may poll behind a block-counter mask.
+func goodMasked(tok *Token, rows []int) int {
+	n := 0
+	for i := 0; i < len(rows); i++ {
+		if i%scanChunk == 0 && tok.Cancelled() {
+			return n
+		}
+		n += rows[i]
+	}
+	return n
+}
+
+// checkpoint polls on behalf of its callers (the groupPassCheckpoint
+// pattern); calls to it count as polls.
+func checkpoint(tok *Token) bool {
+	return tok.Cancelled()
+}
+
+// goodViaHelper: the block loop polls through a package-local helper.
+func goodViaHelper(tok *Token, vals []float64) int {
+	n := 0
+	for lo := 0; lo < len(vals); lo += scanChunk {
+		if checkpoint(tok) {
+			return n
+		}
+		hi := min(lo+scanChunk, len(vals))
+		for i := lo; i < hi; i++ {
+			if vals[i] > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+// Test fixture for the epochguard analyzer: out-of-band mutation of
+// epoch-owned table state, and plan builders that read table state before
+// capturing the epoch. Mirrors the PointCloud/VectorTable shape without
+// importing the engine.
+package epochguard
+
+// Table owns epoch-versioned backing state: a values slice and a column
+// map.
+type Table struct {
+	epoch uint64
+	vals  []float64
+	cols  map[string][]float64
+}
+
+func (t *Table) Epoch() uint64 { return t.epoch }
+func (t *Table) Len() int      { return len(t.vals) }
+
+// Append is a sanctioned mutation entry point: it bumps the epoch.
+func (t *Table) Append(v float64) {
+	t.vals = append(t.vals, v)
+	t.epoch++
+}
+
+// InvalidateIndexes is the other sanctioned entry point.
+func (t *Table) InvalidateIndexes() {
+	t.cols = nil
+	t.epoch++
+}
+
+// ensureCols is a locked lazy builder; exempt by name.
+func (t *Table) ensureCols() {
+	if t.cols == nil {
+		t.cols = map[string][]float64{}
+	}
+}
+
+// badMutations: writes to epoch-owned state outside the sanctioned entry
+// points, bypassing the epoch bump.
+func badMutations(t *Table) {
+	t.vals = nil        // want `mutation of epoch-owned field t.vals`
+	t.vals[0] = 1       // want `mutation of epoch-owned field t.vals`
+	t.cols["x"] = nil   // want `mutation of epoch-owned field t.cols`
+	delete(t.cols, "y") // want `mutation of epoch-owned field t.cols`
+}
+
+// plan mirrors a compiled plan: it remembers the epoch it was built
+// against. (Not epoch-owned: it has no slice/map backing state.)
+type plan struct {
+	epoch uint64
+	n     int
+}
+
+// goodBuild captures the epoch before reading table state.
+func goodBuild(t *Table) plan {
+	var p plan
+	p.epoch = t.Epoch()
+	p.n = t.Len()
+	return p
+}
+
+// badBuild reads table state first: an Append between the read and the
+// capture would produce a plan that validates as fresh over stale views.
+func badBuild(t *Table) plan {
+	var p plan
+	n := t.Len() // want `table state read t.Len\(...\) before epoch capture`
+	p.epoch = t.Epoch()
+	p.n = n
+	return p
+}

@@ -1,0 +1,62 @@
+// Test fixture for the releaselist analyzer: pooled acquisitions and
+// recycles on a run-scoped path. Mirrors the engine's Run / pool API shape
+// without importing it.
+package releaselist
+
+// Run mirrors engine.Run: the per-query release list.
+type Run struct{}
+
+func (r *Run) TrackRows(buf []int) []int        { return buf }
+func (r *Run) SwapRows(old, next []int) []int   { return next }
+func (r *Run) AcquireRows(n int) []int          { return make([]int, 0, n) }
+func (r *Run) RecycleRows(buf []int)            {}
+func (r *Run) trackF64(buf []float64) []float64 { return buf }
+
+// Package-level pool API (the raw, untracked forms).
+func getRowBuf(n int) []int     { return make([]int, 0, n) }
+func getF64Buf(n int) []float64 { return make([]float64, 0, n) }
+func AcquireRows(n int) []int   { return make([]int, n) }
+func RecycleRows(buf []int)     {}
+
+// groupState mirrors the grouped-aggregate track-after-production shape.
+type groupState struct {
+	table []int
+	keys  []float64
+}
+
+// badUntracked: raw acquisitions on a run path that never reach the
+// release list, and a bare recycle that bypasses it.
+func badUntracked(run *Run, n int) {
+	buf := getRowBuf(n)   // want `pooled acquisition getRowBuf\(...\) is not registered`
+	vals := getF64Buf(n)  // want `pooled acquisition getF64Buf\(...\) is not registered`
+	raw := AcquireRows(n) // want `pooled acquisition AcquireRows\(...\) is not registered`
+	_ = vals
+	_ = raw
+	RecycleRows(buf) // want `RecycleRows bypasses the run's release list`
+}
+
+// goodWrapped: acquisitions wrapped in a tracking call at the site, and
+// recycling through the run.
+func goodWrapped(run *Run, n int) {
+	buf := run.TrackRows(getRowBuf(n))
+	rows := run.AcquireRows(n)
+	rows = run.SwapRows(rows, buf)
+	run.RecycleRows(rows)
+}
+
+// goodTrackAfter: the track-after-production pattern — the buffer is bound
+// first (a later call may still grow it) and registered before use.
+func goodTrackAfter(run *Run, n int) {
+	g := groupState{table: getRowBuf(n), keys: getF64Buf(64)}
+	run.TrackRows(g.table)
+	run.trackF64(g.keys)
+	buf := getRowBuf(n)[:0]
+	buf = run.TrackRows(buf)
+}
+
+// goodNoRun: no lifecycle record in scope — the nil-run legacy path and the
+// pool machinery are out of the invariant's scope.
+func goodNoRun(n int) {
+	buf := getRowBuf(n)
+	RecycleRows(buf)
+}
