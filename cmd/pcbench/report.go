@@ -63,6 +63,10 @@ type jsonReport struct {
 	Dataset struct {
 		Points int    `json:"points"`
 		Scale  string `json:"scale"`
+		// GOMAXPROCS of the measuring process: the E16 scaling curve is
+		// only meaningful up to this count (degrees past it exercise
+		// partition queueing, not speedup).
+		GOMAXPROCS int `json:"gomaxprocs"`
 	} `json:"dataset"`
 	GeneratedAt string        `json:"generated_at"`
 	Records     []jsonRecord  `json:"records"`

@@ -92,3 +92,44 @@ func goodViaHelper(tok *Token, vals []float64) int {
 	}
 	return n
 }
+
+// morselPass mirrors the morsel drivers' pooled pass scaffolding: a
+// RunPartition method scanning its own [start,end) span in chunk steps.
+type morselPass struct {
+	vals   []float64
+	n, deg int
+	sums   []float64
+	tok    *Token
+}
+
+// goodMorselWorker: the worker-loop shape the morsel drivers use — each
+// partition steps its span by scanChunk and polls once per block, so a
+// cancelled query stops at the next block boundary on every worker.
+func (mp *morselPass) goodMorselWorker(slot int) {
+	start, end := slot*mp.n/mp.deg, (slot+1)*mp.n/mp.deg
+	s := 0.0
+	for b := start; b < end; b += scanChunk {
+		if mp.tok.Cancelled() {
+			break
+		}
+		be := min(b+scanChunk, end)
+		for i := b; i < be; i++ {
+			s += mp.vals[i]
+		}
+	}
+	mp.sums[slot] = s
+}
+
+// badMorselWorker: the same partition span loop with the poll dropped — a
+// cancelled query would run this worker's whole span.
+func (mp *morselPass) badMorselWorker(slot int) {
+	start, end := slot*mp.n/mp.deg, (slot+1)*mp.n/mp.deg
+	s := 0.0
+	for b := start; b < end; b += scanChunk { // want `block loop does not poll cancellation`
+		be := min(b+scanChunk, end)
+		for i := b; i < be; i++ {
+			s += mp.vals[i]
+		}
+	}
+	mp.sums[slot] = s
+}

@@ -60,3 +60,38 @@ func goodNoRun(n int) {
 	buf := getRowBuf(n)
 	RecycleRows(buf)
 }
+
+// goodMorselMerge: the morsel drivers' ascending-merge shape — worker
+// output is folded into run-scoped scratch, with the hash merge's
+// track-after-production ordering (the table is registered once the sweep
+// that may grow it has finished).
+func goodMorselMerge(run *Run, banks [][]float64, n int) {
+	g := groupState{table: getRowBuf(n), keys: getF64Buf(64)}
+	for w := range banks {
+		_ = banks[w]
+	}
+	run.TrackRows(g.table)
+	run.trackF64(g.keys)
+	out := run.trackF64(getF64Buf(n))
+	_ = out
+}
+
+// badMorselMerge: merge scratch drawn on the run path without ever
+// reaching the release list — a worker panic between acquisition and the
+// merge would leak it.
+func badMorselMerge(run *Run, banks [][]float64, n int) {
+	out := getF64Buf(n) // want `pooled acquisition getF64Buf\(...\) is not registered`
+	for w := range banks {
+		_ = banks[w]
+	}
+	_ = out
+	_ = run
+}
+
+// goodMorselWorkerScratch: per-partition worker scratch is slot-owned, not
+// run-owned — RunPartition has no Run in scope, so the raw pool forms are
+// the correct idiom there (recycled by the pass's own drain/recover).
+func goodMorselWorkerScratch(slots [][]int, slot, n int) {
+	buf := getRowBuf(n)
+	slots[slot] = buf
+}

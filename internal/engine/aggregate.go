@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"gisnav/internal/cancel"
 	"gisnav/internal/colstore"
 )
 
@@ -46,6 +47,17 @@ func (f AggFunc) String() string {
 // selection-vector path. Accumulation stays in float64 in ascending row
 // order, so results are bit-identical to the naive widening loop.
 func (pc *PointCloud) Aggregate(rows []int, fn AggFunc, column string, ex *Explain) (float64, error) {
+	return pc.AggregateRun(nil, rows, fn, column, ex)
+}
+
+// AggregateRun is Aggregate under a query lifecycle. Min and max over
+// large inputs fan across the resident worker set (morsel.go): strict
+// folds merged in ascending-partition order are bit-identical to the
+// serial ascending fold. Sum and avg always run serial — float addition
+// is not associative, and sums are pinned bit-identical to the
+// row-at-a-time loop — and so does count, which reads no values at all.
+// A nil run behaves exactly like Aggregate.
+func (pc *PointCloud) AggregateRun(run *Run, rows []int, fn AggFunc, column string, ex *Explain) (float64, error) {
 	start := time.Now()
 	n := len(rows)
 	all := rows == nil
@@ -62,7 +74,23 @@ func (pc *PointCloud) Aggregate(rows []int, fn AggFunc, column string, ex *Expla
 	if col == nil {
 		return 0, fmt.Errorf("engine: unknown column %q", column)
 	}
-	sum, lo, hi := aggColumn(col, rows, all)
+	deg := 1
+	if fn == AggMin || fn == AggMax {
+		deg = pc.morselDegree(run, n)
+	}
+	var sum, lo, hi float64
+	if deg > 1 {
+		var err error
+		lo, hi, err = aggMorsel(run, col, rows, all, n, deg)
+		if err != nil {
+			return 0, err
+		}
+		if run.Cancelled() {
+			return 0, cancel.ErrCancelled
+		}
+	} else {
+		sum, lo, hi = aggColumn(col, rows, all)
+	}
 	var res float64
 	switch fn {
 	case AggSum:
@@ -86,7 +114,11 @@ func (pc *PointCloud) Aggregate(rows []int, fn AggFunc, column string, ex *Expla
 		return 0, fmt.Errorf("engine: unknown aggregate %d", fn)
 	}
 	if ex != nil {
-		ex.Add(opAggregate, fmt.Sprintf("%s(%s)", fn, column), n, 1, time.Since(start))
+		detail := fmt.Sprintf("%s(%s)", fn, column)
+		if deg > 1 {
+			detail = fmt.Sprintf("%s [par %d]", detail, deg)
+		}
+		ex.Add(opAggregate, detail, n, 1, time.Since(start))
 	}
 	return res, nil
 }

@@ -2,11 +2,9 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"gisnav/internal/colstore"
-	"gisnav/internal/grid"
 	"gisnav/internal/imprints"
 )
 
@@ -49,15 +47,20 @@ func (pc *PointCloud) columnImprintIfBuilt(name string) *imprints.Imprints {
 	return pc.colImprints[name]
 }
 
-// kernelParallelRows is the candidate-row count above which the indexed
-// range filter fans out across cores when pc.Parallel is set. It mirrors
-// grid.RefineAuto's crossover: below it, goroutine fan-out costs more than
-// it saves.
-const kernelParallelRows = 1 << 17
+// wideSelectivity reports whether an estimated match count is so large a
+// fraction of the table that imprint candidate pruning cannot pay for its
+// own dispatch: at half the rows or more, nearly every cacheline survives
+// pruning anyway, and per-range dispatch plus selection-vector growth made
+// the wide-BETWEEN arm of BENCH_filter slower than a plain interface scan.
+// Such predicates drive the block kernel over the full column instead.
+func wideSelectivity(est, n int) bool { return n > 0 && 2*est >= n }
 
 // FilterRangeIndexed returns the rows whose column value lies in [lo, hi],
 // using the column's imprint for cacheline pruning followed by an exact
-// range kernel over the candidate blocks. The result equals a full-column
+// range kernel over the candidate blocks. Wide predicates (imprint
+// estimate at least half the table) skip candidate-range generation and
+// drive the kernel over the full column; large candidate sets fan across
+// the resident worker set (morsel.go). The result equals a full-column
 // scan. The returned vector is pooled; RecycleRows hands it back.
 func (pc *PointCloud) FilterRangeIndexed(name string, lo, hi float64, ex *Explain) ([]int, error) {
 	im, err := pc.EnsureColumnImprint(name)
@@ -66,63 +69,49 @@ func (pc *PointCloud) FilterRangeIndexed(name string, lo, hi float64, ex *Explai
 	}
 	col := pc.Column(name)
 	start := time.Now()
-	cand := im.CandidateRangesInto(lo, hi, getRangeBuf(0))
+	n := pc.Len()
+	est := im.EstimateRows(lo, hi)
+	if est > n {
+		est = n
+	}
+	var cand []colstore.Range
+	if wideSelectivity(est, n) {
+		cand = append(getRangeBuf(1), colstore.Range{End: n})
+	} else {
+		cand = im.CandidateRangesInto(lo, hi, getRangeBuf(0))
+	}
 	defer RecycleRanges(cand)
 	if ex != nil {
 		ex.Add(opImprintsFilter, fmt.Sprintf("%s in [%g, %g]", name, lo, hi),
-			pc.Len(), colstore.RangesLen(cand), time.Since(start))
+			n, colstore.RangesLen(cand), time.Since(start))
 	}
 
 	start = time.Now()
 	k := pc.compileRangeCached(col, name)
 	a := k.Bind(lo, hi)
-	rows := getRowBuf(im.EstimateRows(lo, hi))
-	if pc.Parallel && colstore.RangesLen(cand) >= kernelParallelRows {
-		rows = filterBlocksParallel(k, a, cand, rows)
+	// The imprint estimate bounds the match count, so the vector is sized
+	// once and the block drive (serial or merged) appends without growth.
+	rows := getRowBuf(est)
+	deg := pc.morselDegree(nil, colstore.RangesLen(cand))
+	if deg > 1 {
+		rows, err = filterBlocksMorsel(k, a, cand, deg, rows)
+		if err != nil {
+			RecycleRows(rows)
+			return nil, err
+		}
 	} else {
 		for _, r := range cand {
 			rows = k.FilterBlock(a, r.Start, r.End, rows)
 		}
 	}
 	if ex != nil {
-		ex.Add(opRefineRange, fmt.Sprintf("exact tests on %s", name),
-			colstore.RangesLen(cand), len(rows), time.Since(start))
+		detail := fmt.Sprintf("exact tests on %s", name)
+		if deg > 1 {
+			detail = fmt.Sprintf("%s [par %d]", detail, deg)
+		}
+		ex.Add(opRefineRange, detail, colstore.RangesLen(cand), len(rows), time.Since(start))
 	}
 	return rows, nil
-}
-
-// filterBlocksParallel partitions the candidate ranges across workers, runs
-// the block kernel on each partition into its own pooled vector, and
-// concatenates the partial results in partition order. Partitions cover
-// disjoint, ascending row ranges, so the result is bit-identical to the
-// sequential pass.
-func filterBlocksParallel(k *Kernel, a KernelArgs, cand []colstore.Range, out []int) []int {
-	parts := grid.SplitRanges(cand, 0)
-	if len(parts) == 1 {
-		for _, r := range parts[0] {
-			out = k.FilterBlock(a, r.Start, r.End, out)
-		}
-		return out
-	}
-	results := make([][]int, len(parts))
-	var wg sync.WaitGroup
-	for w := range parts {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			buf := getRowBuf(colstore.RangesLen(parts[w]))
-			for _, r := range parts[w] {
-				buf = k.FilterBlock(a, r.Start, r.End, buf)
-			}
-			results[w] = buf
-		}(w)
-	}
-	wg.Wait()
-	for _, res := range results {
-		out = append(out, res...)
-		RecycleRows(res)
-	}
-	return out
 }
 
 // FilterRangeScan is the unindexed comparison arm: a full-column scan

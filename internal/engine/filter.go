@@ -139,11 +139,28 @@ func (pc *PointCloud) FilterRowsRun(run *Run, rows []int, preds []ColumnPred, ex
 			// buffer is tracked before the call (a panic mid-kernel must
 			// not strand it) and swapped for the final slice after —
 			// FilterBlock may grow (and so reallocate) what it was handed.
+			// Large tables fan the kernel across the resident worker set
+			// (morsel.go); the imprint estimate pre-sizes the vector so the
+			// parallel merge appends without growth in the common case.
 			buf := run.TrackRows(getRowBuf(pc.predHint(pred)))
-			rows = run.SwapRows(buf, k.FilterBlock(a, 0, pc.Len(), buf))
+			deg := pc.morselDegree(run, pc.Len())
+			if deg > 1 {
+				res, ferr := filterFullMorsel(k, a, pc.Len(), deg, buf)
+				rows = run.SwapRows(buf, res)
+				if ferr != nil {
+					run.RecycleRows(rows)
+					return nil, ferr
+				}
+			} else {
+				rows = run.SwapRows(buf, k.FilterBlock(a, 0, pc.Len(), buf))
+			}
 			owned = true
 			if ex != nil {
-				ex.Add(opFilterColumn, pred.String(), pc.Len(), len(rows), time.Since(start))
+				detail := pred.String()
+				if deg > 1 {
+					detail = fmt.Sprintf("%s [par %d]", detail, deg)
+				}
+				ex.Add(opFilterColumn, detail, pc.Len(), len(rows), time.Since(start))
 			}
 		case !owned:
 			// Copy-on-first-write: the caller keeps its slice untouched.

@@ -166,35 +166,71 @@ func (pc *PointCloud) GroupedAggregateRun(run *Run, rows []int, key string, spec
 	}
 	res.reset(len(specs))
 
+	// Strategy choice is independent of parallelism (so the recorded
+	// strategy and the output match the serial path exactly); within a
+	// strategy, large inputs fan across the resident worker set when every
+	// spec merges exactly across partitions (specsMergeExact — sum/avg
+	// plans stay serial to keep sums bit-identical to the ascending fold).
+	par := 1
+	if specsMergeExact(specs) {
+		par = pc.morselDegree(run, n)
+	}
+
 	switch k := keyCol.(type) {
 	case *colstore.U8Column:
-		if err := denseGrouped(run, pc, k.Values(), 1<<8, rows, all, n, specs, res); err != nil {
+		if err := groupDense8(run, pc, k.Values(), rows, all, n, specs, res, par); err != nil {
 			return err
 		}
 		res.Strategy = GroupDense
 	case *colstore.U16Column:
 		if n >= (1<<16)/denseMinRowsPerSlot {
-			if err := denseGrouped(run, pc, k.Values(), 1<<16, rows, all, n, specs, res); err != nil {
+			if err := groupDense16(run, pc, k.Values(), rows, all, n, specs, res, par); err != nil {
 				return err
 			}
 			res.Strategy = GroupDense
 			break
 		}
-		if err := hashGrouped(run, pc, keyCol, rows, all, n, specs, res); err != nil {
+		if err := groupHashed(run, pc, keyCol, rows, all, n, specs, res, par); err != nil {
 			return err
 		}
 		res.Strategy = GroupHash
 	default:
-		if err := hashGrouped(run, pc, keyCol, rows, all, n, specs, res); err != nil {
+		if err := groupHashed(run, pc, keyCol, rows, all, n, specs, res, par); err != nil {
 			return err
 		}
 		res.Strategy = GroupHash
 	}
 	if ex != nil {
-		ex.Add(opGroupAgg, fmt.Sprintf("%s key %s, %d aggs", res.Strategy, key, len(specs)),
-			n, len(res.Keys), time.Since(start))
+		detail := fmt.Sprintf("%s key %s, %d aggs", res.Strategy, key, len(specs))
+		if par > 1 {
+			detail = fmt.Sprintf("%s [par %d]", detail, par)
+		}
+		ex.Add(opGroupAgg, detail, n, len(res.Keys), time.Since(start))
 	}
 	return nil
+}
+
+// groupDense8 / groupDense16 / groupHashed pick the parallel or serial
+// arm of their strategy by degree.
+func groupDense8(run *Run, pc *PointCloud, keys []uint8, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult, par int) error {
+	if par > 1 {
+		return denseGroupedMorsel(run, pc, keys, nil, 1<<8, rows, all, n, specs, res, par)
+	}
+	return denseGrouped(run, pc, keys, 1<<8, rows, all, n, specs, res)
+}
+
+func groupDense16(run *Run, pc *PointCloud, keys []uint16, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult, par int) error {
+	if par > 1 {
+		return denseGroupedMorsel(run, pc, nil, keys, 1<<16, rows, all, n, specs, res, par)
+	}
+	return denseGrouped(run, pc, keys, 1<<16, rows, all, n, specs, res)
+}
+
+func groupHashed(run *Run, pc *PointCloud, keyCol colstore.Column, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult, par int) error {
+	if par > 1 {
+		return hashGroupedMorsel(run, pc, keyCol, rows, all, n, specs, res, par)
+	}
+	return hashGrouped(run, pc, keyCol, rows, all, n, specs, res)
 }
 
 // --- dense path ----------------------------------------------------------------

@@ -1,0 +1,848 @@
+// Morsel-driven parallel execution (PR 8): the compiled filter kernels,
+// the fused min/max aggregate and the grouped-aggregate strategies fan
+// cache-sized partitions ("morsels") across the shared resident worker
+// set in internal/morsel — the pool promoted out of grid/parallel.go —
+// instead of running on a single core.
+//
+// Determinism contract: parallel output is bit-identical to the serial
+// path. That is cheap for filters (partitions are disjoint ascending row
+// ranges; concatenating partials in ascending-partition order IS the
+// serial order) and provable for count/min/max (counts are exact integers
+// in float64; min/max use strict compares seeded at ±Inf, so folding
+// per-partition results in ascending-partition order reproduces the
+// serial ascending fold bit-for-bit — equal-valued ties keep their
+// earliest winner and NaN never wins). It is NOT true for sum/avg: float
+// addition is not associative, and the aggregate-semantics invariant pins
+// sums bit-identical to the ascending row-at-a-time loop — so sum/avg
+// always run serial, and grouped plans containing them take the serial
+// strategy (specsMergeExact).
+//
+// Degree selection: SetMaxParallel on the run caps the fan-out (the SQL
+// layer sets it per run; 0 defers to PointCloud.Parallel); morselDegree
+// then clamps by the driving row count so each partition carries at least
+// morselMinRows rows — small selections stay serial, where fan-out costs
+// more than it saves.
+//
+// Lifecycle contract (PR 6): per-worker scratch is pooled and registered
+// on a per-worker release path — each RunPartition drains exactly the
+// buffers it acquired before letting a panic escape, the pass machinery
+// parks per-slot panics until every partition settles, and the driver
+// recycles all surviving partials before re-raising the first panic for
+// the query layer's recovery. Workers poll the run's cancel token at
+// block boundaries (scanChunk blocks in the fold loops, one accumulate
+// pass in the grouped strategies); a fired token surfaces from the driver
+// with every buffer back in its pool. The engine.morsel.worker and
+// engine.morsel.merge faultpoints prove both paths under -tags
+// faultinject.
+package engine
+
+import (
+	"math"
+	"sync"
+
+	"gisnav/internal/cancel"
+	"gisnav/internal/colstore"
+	"gisnav/internal/faultpoint"
+	"gisnav/internal/grid"
+	"gisnav/internal/morsel"
+)
+
+// morselMinRows is the minimum row count per partition: below two
+// partitions' worth the serial path wins (this reproduces the old 1<<17
+// parallel crossover of the indexed range filter at degree 2).
+const morselMinRows = 1 << 16
+
+// morselDegree picks the fan-out degree for an operator driving rows
+// rows: the run's explicit cap (SetMaxParallel), else the resident worker
+// count when the table opted into auto-parallel execution, clamped so
+// every partition carries at least morselMinRows rows. 1 means serial.
+func (pc *PointCloud) morselDegree(run *Run, rows int) int {
+	limit := run.MaxParallel()
+	if limit == 0 {
+		if !pc.Parallel {
+			return 1
+		}
+		limit = morsel.Workers()
+	}
+	if limit <= 1 {
+		return 1
+	}
+	d := rows / morselMinRows
+	if d < 2 {
+		return 1
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
+}
+
+// passFree is the mutex-backed free list behind the pooled operator pass
+// scratch. A sync.Pool would be idiomatic, but the race detector drops
+// sync.Pool puts, which would fail the AllocsPerRun == 0 steady-state
+// tests under the -race CI job (the SQL layer's runStatePool documents
+// the same trade-off).
+type passFree[T any] struct {
+	mu   sync.Mutex
+	free []*T
+}
+
+func (p *passFree[T]) get() *T {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		return t
+	}
+	return new(T)
+}
+
+func (p *passFree[T]) put(t *T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) < 16 {
+		p.free = append(p.free, t)
+	}
+}
+
+// --- parallel block filter ------------------------------------------------------
+
+// filterPass is the pooled fan-out scaffolding of one parallel
+// block-filter pass: the partition storage, the compiled kernel with its
+// bound constant record, and the per-partition result slots.
+type filterPass struct {
+	pass    morsel.Pass
+	partBuf []colstore.Range
+	cuts    []int
+	parts   [][]colstore.Range
+	results [][]int
+	k       *Kernel
+	a       KernelArgs
+	full    [1]colstore.Range // candidate storage for the full-column drive
+}
+
+var filterPasses passFree[filterPass]
+
+// RunPartition drives the block kernel over one partition's ranges into a
+// pooled per-worker selection vector — this slot's release entry. On a
+// panic the buffer goes straight back to its pool and the result slot is
+// cleared before the panic re-raises into the morsel recovery.
+// Cancellation is polled inside FilterBlock per scanChunk block (the
+// token rides in the bound args), so a fired token leaves a partial
+// vector the driver discards.
+func (fp *filterPass) RunPartition(slot int) {
+	part := fp.parts[slot]
+	buf := getRowBuf(colstore.RangesLen(part))
+	defer func() {
+		if p := recover(); p != nil {
+			fp.results[slot] = nil
+			rowPool.Put(buf)
+			panic(p)
+		}
+	}()
+	if err := faultpoint.Hit("engine.morsel.worker"); err != nil {
+		panic(err)
+	}
+	for _, r := range part {
+		buf = fp.k.FilterBlock(fp.a, r.Start, r.End, buf)
+	}
+	fp.results[slot] = buf
+}
+
+// drain recycles every surviving per-partition result.
+func (fp *filterPass) drain() {
+	for i := range fp.results {
+		if fp.results[i] != nil {
+			rowPool.Put(fp.results[i])
+			fp.results[i] = nil
+		}
+	}
+}
+
+func (fp *filterPass) release() {
+	fp.k = nil
+	fp.a = KernelArgs{}
+}
+
+// filterFullMorsel fans the block kernel over the whole column [0, n) in
+// deg partitions — the first-predicate fast path, which needs no
+// candidate ranges.
+func filterFullMorsel(k *Kernel, a KernelArgs, n, deg int, out []int) ([]int, error) {
+	fp := filterPasses.get()
+	fp.full[0] = colstore.Range{End: n}
+	return runFilterPass(fp, k, a, fp.full[:1], deg, out)
+}
+
+// filterBlocksMorsel fans the block kernel over the candidate ranges in
+// deg partitions, appending matches to out.
+func filterBlocksMorsel(k *Kernel, a KernelArgs, cand []colstore.Range, deg int, out []int) ([]int, error) {
+	return runFilterPass(filterPasses.get(), k, a, cand, deg, out)
+}
+
+// runFilterPass splits cand (via the shared grid partitioner), fans the
+// partitions across the resident worker set and concatenates the partial
+// vectors in ascending-partition order — partitions are disjoint
+// ascending row ranges, so the result is bit-identical to the serial
+// block drive. A partition panic re-raises here after all partitions
+// settle, with every surviving partial already recycled; the merge
+// faultpoint's error path proves the same accounting without a panic.
+func runFilterPass(fp *filterPass, k *Kernel, a KernelArgs, cand []colstore.Range, deg int, out []int) ([]int, error) {
+	fp.k, fp.a = k, a
+	fp.partBuf, fp.cuts, fp.parts = grid.SplitRangesInto(cand, deg, fp.partBuf, fp.cuts, fp.parts)
+	n := len(fp.parts)
+	if cap(fp.results) < n {
+		fp.results = make([][]int, n)
+	}
+	fp.results = fp.results[:n]
+	if p := fp.pass.Run(n, fp); p != nil {
+		fp.drain()
+		fp.release()
+		filterPasses.put(fp)
+		panic(p)
+	}
+	if err := faultpoint.Hit("engine.morsel.merge"); err != nil {
+		fp.drain()
+		fp.release()
+		filterPasses.put(fp)
+		return out, err
+	}
+	for i := range fp.results {
+		if fp.results[i] != nil {
+			out = append(out, fp.results[i]...)
+			rowPool.Put(fp.results[i])
+			fp.results[i] = nil
+		}
+	}
+	fp.release()
+	filterPasses.put(fp)
+	return out, nil
+}
+
+// --- parallel fused min/max aggregate -------------------------------------------
+
+// aggPass is the pooled fan-out scaffolding of one parallel min/max
+// aggregate: partition bounds are computed from (n, deg) per slot, and
+// the per-slot partial folds land in preallocated banks — workers own no
+// pooled buffers, so a partition panic has nothing to drain.
+type aggPass struct {
+	pass     morsel.Pass
+	col      colstore.Column
+	rows     []int
+	all      bool
+	n, deg   int
+	los, his []float64
+	tok      *cancel.Token
+}
+
+var aggPasses passFree[aggPass]
+
+// RunPartition folds one partition's min/max in scanChunk blocks,
+// polling the run's token at every block boundary. Strict folds in
+// ascending block order reproduce the serial ascending fold bit-for-bit.
+func (ap *aggPass) RunPartition(slot int) {
+	if err := faultpoint.Hit("engine.morsel.worker"); err != nil {
+		panic(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	start := slot * ap.n / ap.deg
+	end := (slot + 1) * ap.n / ap.deg
+	for b := start; b < end; b += scanChunk {
+		if ap.tok.Cancelled() {
+			break
+		}
+		be := min(b+scanChunk, end)
+		var blo, bhi float64
+		if ap.all {
+			_, blo, bhi = aggColumnSpan(ap.col, b, be)
+		} else {
+			_, blo, bhi = aggColumn(ap.col, ap.rows[b:be], false)
+		}
+		if blo < lo {
+			lo = blo
+		}
+		if bhi > hi {
+			hi = bhi
+		}
+	}
+	ap.los[slot], ap.his[slot] = lo, hi
+}
+
+func (ap *aggPass) release() {
+	ap.col = nil
+	ap.rows = nil
+	ap.tok = nil
+}
+
+// aggMorsel computes the fused min/max over the selection in deg
+// partitions and folds the partials in ascending-partition order —
+// bit-identical to the serial fold (see the package comment).
+func aggMorsel(run *Run, col colstore.Column, rows []int, all bool, n, deg int) (lo, hi float64, err error) {
+	ap := aggPasses.get()
+	ap.col, ap.rows, ap.all = col, rows, all
+	ap.n, ap.deg = n, deg
+	ap.tok = run.Token()
+	if cap(ap.los) < deg {
+		ap.los = make([]float64, deg)
+		ap.his = make([]float64, deg)
+	}
+	ap.los, ap.his = ap.los[:deg], ap.his[:deg]
+	if p := ap.pass.Run(deg, ap); p != nil {
+		ap.release()
+		aggPasses.put(ap)
+		panic(p)
+	}
+	if ferr := faultpoint.Hit("engine.morsel.merge"); ferr != nil {
+		ap.release()
+		aggPasses.put(ap)
+		return 0, 0, ferr
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for s := 0; s < deg; s++ {
+		if ap.los[s] < lo {
+			lo = ap.los[s]
+		}
+		if ap.his[s] > hi {
+			hi = ap.his[s]
+		}
+	}
+	ap.release()
+	aggPasses.put(ap)
+	return lo, hi, nil
+}
+
+// aggColumnSpan is aggColumn over the index span [lo, hi) of the full
+// column — the all-rows partition arm.
+func aggColumnSpan(col colstore.Column, lo, hi int) (sum, l, h float64) {
+	switch t := col.(type) {
+	case *colstore.F64Column:
+		return aggVals(t.Values()[lo:hi], nil, true)
+	case *colstore.I64Column:
+		return aggVals(t.Values()[lo:hi], nil, true)
+	case *colstore.I32Column:
+		return aggVals(t.Values()[lo:hi], nil, true)
+	case *colstore.U16Column:
+		return aggVals(t.Values()[lo:hi], nil, true)
+	case *colstore.U8Column:
+		return aggVals(t.Values()[lo:hi], nil, true)
+	default:
+		l, h = math.Inf(1), math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			v := col.Value(i)
+			sum += v
+			if v < l {
+				l = v
+			}
+			if v > h {
+				h = v
+			}
+		}
+		return sum, l, h
+	}
+}
+
+// --- parallel grouped aggregation -----------------------------------------------
+
+// specsMergeExact reports whether every requested aggregate merges
+// exactly across partitions: count (exact integer arithmetic in float64)
+// and min/max (strict folds, order-associative). Sum and avg are
+// excluded — float addition is not associative, and the aggregate
+// semantics contract pins sums bit-identical to the ascending
+// row-at-a-time fold — so plans containing them run the serial strategy.
+func specsMergeExact(specs []GroupedAggSpec) bool {
+	for _, s := range specs {
+		switch s.Fn {
+		case AggCount, AggMin, AggMax:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// densePass is the pooled fan-out scaffolding of one parallel dense
+// grouped pass. Per-worker accumulator banks are disjoint slabs of one
+// run-tracked buffer (banks), so workers own no pooled buffers and a
+// partition panic has nothing to drain — the driver recycles the slab.
+// Exactly one of keys8/keys16 is set.
+type densePass struct {
+	pass        morsel.Pass
+	keys8       []uint8
+	keys16      []uint16
+	pc          *PointCloud
+	rows        []int
+	all         bool
+	n, deg      int
+	dom, stride int
+	specs       []GroupedAggSpec
+	banks       []float64
+	tok         *cancel.Token
+}
+
+var densePasses passFree[densePass]
+
+func (dp *densePass) RunPartition(slot int) {
+	if dp.keys8 != nil {
+		densePartition(dp, dp.keys8, slot)
+		return
+	}
+	densePartition(dp, dp.keys16, slot)
+}
+
+func (dp *densePass) release() {
+	dp.keys8, dp.keys16 = nil, nil
+	dp.pc, dp.rows = nil, nil
+	dp.specs, dp.banks = nil, nil
+	dp.tok = nil
+}
+
+// densePartition runs the dense count + accumulate passes over one
+// partition into this slot's bank slab. One accumulate pass is this
+// layer's block (as in groupPassCheckpoint), so the token is polled
+// between passes.
+func densePartition[K denseKey](dp *densePass, keys []K, slot int) {
+	if err := faultpoint.Hit("engine.morsel.worker"); err != nil {
+		panic(err)
+	}
+	bank := dp.banks[slot*dp.stride : (slot+1)*dp.stride]
+	cnt := bank[:dp.dom]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	start := slot * dp.n / dp.deg
+	end := (slot + 1) * dp.n / dp.deg
+	if dp.all {
+		denseCount(keys[start:end], nil, true, cnt)
+	} else {
+		denseCount(keys, dp.rows[start:end], false, cnt)
+	}
+	for j, s := range dp.specs {
+		if dp.tok.Cancelled() {
+			return
+		}
+		b := bank[(1+j)*dp.dom : (2+j)*dp.dom]
+		switch s.Fn {
+		case AggCount:
+			// Served from the shared count bank at emit time.
+		case AggMin:
+			for i := range b {
+				b[i] = math.Inf(1)
+			}
+			denseAccumPart(keys, dp.pc.Column(s.Column), dp.rows, dp.all, start, end, AggMin, b)
+		case AggMax:
+			for i := range b {
+				b[i] = math.Inf(-1)
+			}
+			denseAccumPart(keys, dp.pc.Column(s.Column), dp.rows, dp.all, start, end, AggMax, b)
+		}
+	}
+}
+
+// denseAccumPart is denseAccumCol restricted to the partition span
+// [start, end) of the selection (or of the full column when all).
+func denseAccumPart[K denseKey](keys []K, col colstore.Column, rows []int, all bool, start, end int, fn AggFunc, bank []float64) {
+	if !all {
+		denseAccumCol(keys, col, rows[start:end], false, fn, bank)
+		return
+	}
+	switch c := col.(type) {
+	case *colstore.F64Column:
+		denseAccum(keys[start:end], c.Values()[start:end], nil, true, fn, bank)
+	case *colstore.I64Column:
+		denseAccum(keys[start:end], c.Values()[start:end], nil, true, fn, bank)
+	case *colstore.I32Column:
+		denseAccum(keys[start:end], c.Values()[start:end], nil, true, fn, bank)
+	case *colstore.U16Column:
+		denseAccum(keys[start:end], c.Values()[start:end], nil, true, fn, bank)
+	case *colstore.U8Column:
+		denseAccum(keys[start:end], c.Values()[start:end], nil, true, fn, bank)
+	default:
+		for i := start; i < end; i++ {
+			accumOne(fn, bank, int(keys[i]), col.Value(i))
+		}
+	}
+}
+
+// denseGroupedMorsel is the parallel dense strategy: per-worker bank
+// slabs over one run-tracked buffer, merged in ascending-partition order
+// (counts sum exactly; min/max fold strictly), then the serial ascending
+// domain emit. Output is bit-identical to denseGrouped. Exactly one of
+// keys8/keys16 is non-nil; every spec is count/min/max (specsMergeExact).
+func denseGroupedMorsel(run *Run, pc *PointCloud, keys8 []uint8, keys16 []uint16, dom int, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult, deg int) error {
+	stride := dom * (1 + len(specs))
+	banks := run.trackF64(getF64Buf(deg * stride))[:deg*stride]
+	dp := densePasses.get()
+	dp.keys8, dp.keys16 = keys8, keys16
+	dp.pc, dp.rows, dp.all = pc, rows, all
+	dp.n, dp.deg, dp.dom, dp.stride = n, deg, dom, stride
+	dp.specs, dp.banks = specs, banks
+	dp.tok = run.Token()
+	if p := dp.pass.Run(deg, dp); p != nil {
+		dp.release()
+		densePasses.put(dp)
+		run.recycleF64(banks)
+		panic(p)
+	}
+	dp.release()
+	densePasses.put(dp)
+	if err := faultpoint.Hit("engine.morsel.merge"); err != nil {
+		run.recycleF64(banks)
+		return err
+	}
+	if run.Cancelled() {
+		run.recycleF64(banks)
+		return cancel.ErrCancelled
+	}
+	base := banks[:stride]
+	for w := 1; w < deg; w++ {
+		wb := banks[w*stride : (w+1)*stride]
+		for k := 0; k < dom; k++ {
+			base[k] += wb[k]
+		}
+		for j, s := range specs {
+			bb := base[(1+j)*dom : (2+j)*dom]
+			sb := wb[(1+j)*dom : (2+j)*dom]
+			switch s.Fn {
+			case AggMin:
+				for k := range bb {
+					if sb[k] < bb[k] {
+						bb[k] = sb[k]
+					}
+				}
+			case AggMax:
+				for k := range bb {
+					if sb[k] > bb[k] {
+						bb[k] = sb[k]
+					}
+				}
+			}
+		}
+	}
+	cnt := base[:dom]
+	for k := 0; k < dom; k++ {
+		c := cnt[k]
+		if c == 0 {
+			continue
+		}
+		res.Keys = append(res.Keys, float64(k))
+		for j, s := range specs {
+			v := base[(1+j)*dom+k]
+			if s.Fn == AggCount {
+				v = c
+			}
+			res.Cols[j] = append(res.Cols[j], v)
+		}
+	}
+	run.recycleF64(banks)
+	return nil
+}
+
+// hashPass is the pooled fan-out scaffolding of one parallel hash
+// grouped pass. Each worker builds a local group table, slot vector and
+// accumulator bank over its partition — the per-worker release list: the
+// slot's deferred recover drains exactly what the partition acquired
+// before a panic re-raises, and the driver drains every surviving slot.
+type hashPass struct {
+	pass   morsel.Pass
+	keyCol colstore.Column
+	specs  []GroupedAggSpec
+	pc     *PointCloud
+	rows   []int
+	all    bool
+	n, deg int
+	nacc   int // min/max specs; count folds from the local group counts
+	gs     []groupHash
+	slotsv [][]int
+	banks  [][]float64
+	tok    *cancel.Token
+}
+
+var hashPasses passFree[hashPass]
+
+// RunPartition builds this partition's local groups: pass 0 assigns local
+// slots while counting, then one accumulate pass per min/max spec (the
+// block boundary, polled like groupPassCheckpoint). Results park in the
+// per-slot fields for the ascending merge.
+func (hp *hashPass) RunPartition(slot int) {
+	if err := faultpoint.Hit("engine.morsel.worker"); err != nil {
+		panic(err)
+	}
+	start := slot * hp.n / hp.deg
+	end := (slot + 1) * hp.n / hp.deg
+	pn := end - start
+	tabSize := 1 << 10
+	for tabSize < 4*pn && tabSize < 1<<20 {
+		tabSize <<= 1
+	}
+	g := groupHash{
+		table: getRowBuf(tabSize)[:tabSize],
+		keys:  getF64Buf(64),
+		cnt:   getF64Buf(64),
+	}
+	var slots []int
+	var bank []float64
+	defer func() {
+		if p := recover(); p != nil {
+			rowPool.Put(g.table)
+			f64Pool.Put(g.keys)
+			f64Pool.Put(g.cnt)
+			if slots != nil {
+				rowPool.Put(slots)
+			}
+			if bank != nil {
+				f64Pool.Put(bank)
+			}
+			hp.gs[slot] = groupHash{}
+			hp.slotsv[slot] = nil
+			hp.banks[slot] = nil
+			panic(p)
+		}
+	}()
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	slots = getRowBuf(pn)[:pn]
+	hashKeysPart(hp.keyCol, hp.rows, hp.all, start, end, &g, slots)
+	if hp.nacc > 0 {
+		groups := len(g.keys)
+		bank = getF64Buf(hp.nacc * groups)[:hp.nacc*groups]
+		ai := 0
+		for _, s := range hp.specs {
+			if s.Fn != AggMin && s.Fn != AggMax {
+				continue
+			}
+			if hp.tok.Cancelled() {
+				break
+			}
+			b := bank[ai*groups : (ai+1)*groups]
+			seed := math.Inf(1)
+			if s.Fn == AggMax {
+				seed = math.Inf(-1)
+			}
+			for i := range b {
+				b[i] = seed
+			}
+			hashAccumPart(hp.pc.Column(s.Column), hp.rows, hp.all, start, end, slots, s.Fn, b)
+			ai++
+		}
+	}
+	hp.gs[slot] = g
+	hp.slotsv[slot] = slots
+	hp.banks[slot] = bank
+}
+
+// drain recycles every surviving per-worker buffer (slots that panicked
+// already drained their own and cleared their fields).
+func (hp *hashPass) drain() {
+	for w := range hp.gs {
+		if hp.gs[w].table != nil {
+			rowPool.Put(hp.gs[w].table)
+			f64Pool.Put(hp.gs[w].keys)
+			f64Pool.Put(hp.gs[w].cnt)
+			hp.gs[w] = groupHash{}
+		}
+		if hp.slotsv[w] != nil {
+			rowPool.Put(hp.slotsv[w])
+			hp.slotsv[w] = nil
+		}
+		if hp.banks[w] != nil {
+			f64Pool.Put(hp.banks[w])
+			hp.banks[w] = nil
+		}
+	}
+}
+
+func (hp *hashPass) release() {
+	hp.keyCol = nil
+	hp.specs = nil
+	hp.pc = nil
+	hp.rows = nil
+	hp.tok = nil
+}
+
+// hashKeysPart is hashKeyCol restricted to the partition span [start,
+// end): local slot assignment only needs the key VALUES, so the all-rows
+// arm subslices the column and the selection arm subslices rows.
+func hashKeysPart(col colstore.Column, rows []int, all bool, start, end int, g *groupHash, slots []int) {
+	if !all {
+		hashKeyCol(col, rows[start:end], false, g, slots)
+		return
+	}
+	switch c := col.(type) {
+	case *colstore.F64Column:
+		hashKeys(c.Values()[start:end], nil, true, g, slots)
+	case *colstore.I64Column:
+		hashKeys(c.Values()[start:end], nil, true, g, slots)
+	case *colstore.I32Column:
+		hashKeys(c.Values()[start:end], nil, true, g, slots)
+	case *colstore.U16Column:
+		hashKeys(c.Values()[start:end], nil, true, g, slots)
+	case *colstore.U8Column:
+		hashKeys(c.Values()[start:end], nil, true, g, slots)
+	default:
+		for i := range slots {
+			s := g.slotOf(col.Value(start + i))
+			g.cnt[s]++
+			slots[i] = s
+		}
+	}
+}
+
+// hashAccumPart is hashAccumCol restricted to the partition span.
+func hashAccumPart(col colstore.Column, rows []int, all bool, start, end int, slots []int, fn AggFunc, bank []float64) {
+	if !all {
+		hashAccumCol(col, rows[start:end], false, slots, fn, bank)
+		return
+	}
+	switch c := col.(type) {
+	case *colstore.F64Column:
+		hashAccum(c.Values()[start:end], nil, true, slots, fn, bank)
+	case *colstore.I64Column:
+		hashAccum(c.Values()[start:end], nil, true, slots, fn, bank)
+	case *colstore.I32Column:
+		hashAccum(c.Values()[start:end], nil, true, slots, fn, bank)
+	case *colstore.U16Column:
+		hashAccum(c.Values()[start:end], nil, true, slots, fn, bank)
+	case *colstore.U8Column:
+		hashAccum(c.Values()[start:end], nil, true, slots, fn, bank)
+	default:
+		for i, s := range slots {
+			accumOne(fn, bank, s, col.Value(start+i))
+		}
+	}
+}
+
+// hashGroupedMorsel is the parallel hash strategy: per-worker local group
+// tables over disjoint partitions, merged in ascending-partition order
+// into a global table. Ascending merge makes the global first-appearance
+// order equal the serial one (partition w's rows all precede partition
+// w+1's), so the stored key value of every group — NaN payload included —
+// matches the serial path's first-seen value; counts sum exactly and
+// min/max fold strictly, and the final FloatOrderKey sort makes the
+// emitted record bit-identical to hashGrouped. Every spec is
+// count/min/max (specsMergeExact).
+func hashGroupedMorsel(run *Run, pc *PointCloud, keyCol colstore.Column, rows []int, all bool, n int, specs []GroupedAggSpec, res *GroupedResult, deg int) error {
+	hp := hashPasses.get()
+	hp.keyCol, hp.specs, hp.pc = keyCol, specs, pc
+	hp.rows, hp.all, hp.n, hp.deg = rows, all, n, deg
+	hp.nacc = 0
+	for _, s := range specs {
+		if s.Fn == AggMin || s.Fn == AggMax {
+			hp.nacc++
+		}
+	}
+	hp.tok = run.Token()
+	if cap(hp.gs) < deg {
+		hp.gs = make([]groupHash, deg)
+		hp.slotsv = make([][]int, deg)
+		hp.banks = make([][]float64, deg)
+	}
+	hp.gs = hp.gs[:deg]
+	hp.slotsv = hp.slotsv[:deg]
+	hp.banks = hp.banks[:deg]
+	if p := hp.pass.Run(deg, hp); p != nil {
+		hp.drain()
+		hp.release()
+		hashPasses.put(hp)
+		panic(p)
+	}
+	if err := faultpoint.Hit("engine.morsel.merge"); err != nil {
+		hp.drain()
+		hp.release()
+		hashPasses.put(hp)
+		return err
+	}
+	if run.Cancelled() {
+		hp.drain()
+		hp.release()
+		hashPasses.put(hp)
+		return cancel.ErrCancelled
+	}
+
+	// Sweep 1, ascending partitions: assign global slots and sum counts.
+	// The global table, key store and count store grow during the sweep,
+	// so they register in the release list after it (track-after-
+	// production, as in the serial hash path).
+	total := 0
+	for w := 0; w < deg; w++ {
+		total += len(hp.gs[w].keys)
+	}
+	tabSize := 1 << 10
+	for tabSize < 4*total && tabSize < 1<<20 {
+		tabSize <<= 1
+	}
+	g := groupHash{
+		table: getRowBuf(tabSize)[:tabSize],
+		keys:  getF64Buf(64),
+		cnt:   getF64Buf(64),
+	}
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	for w := 0; w < deg; w++ {
+		lg := &hp.gs[w]
+		for l, key := range lg.keys {
+			s := g.slotOf(key)
+			g.cnt[s] += lg.cnt[l]
+		}
+	}
+	run.TrackRows(g.table)
+	run.trackF64(g.keys)
+	run.trackF64(g.cnt)
+	groups := len(g.keys)
+
+	// Sweep 2, per min/max spec: fold the worker banks in ascending-
+	// partition order into the global bank.
+	bank := run.trackF64(getF64Buf(hp.nacc * groups))[:hp.nacc*groups]
+	ai := 0
+	for _, s := range specs {
+		if s.Fn != AggMin && s.Fn != AggMax {
+			continue
+		}
+		gb := bank[ai*groups : (ai+1)*groups]
+		seed := math.Inf(1)
+		if s.Fn == AggMax {
+			seed = math.Inf(-1)
+		}
+		for i := range gb {
+			gb[i] = seed
+		}
+		for w := 0; w < deg; w++ {
+			lg := &hp.gs[w]
+			lgroups := len(lg.keys)
+			wb := hp.banks[w][ai*lgroups : (ai+1)*lgroups]
+			for l, key := range lg.keys {
+				gs := g.slotOf(key)
+				if s.Fn == AggMin {
+					if wb[l] < gb[gs] {
+						gb[gs] = wb[l]
+					}
+				} else if wb[l] > gb[gs] {
+					gb[gs] = wb[l]
+				}
+			}
+		}
+		ai++
+	}
+
+	res.Keys = append(res.Keys, g.keys...)
+	ai = 0
+	for j, s := range specs {
+		switch s.Fn {
+		case AggCount:
+			res.Cols[j] = append(res.Cols[j], g.cnt...)
+		case AggMin, AggMax:
+			res.Cols[j] = append(res.Cols[j], bank[ai*groups:(ai+1)*groups]...)
+			ai++
+		}
+	}
+	run.recycleF64(bank)
+	run.recycleF64(g.keys)
+	run.recycleF64(g.cnt)
+	run.RecycleRows(g.table)
+	hp.drain()
+	hp.release()
+	hashPasses.put(hp)
+	sortGrouped(res)
+	return nil
+}

@@ -33,6 +33,7 @@ type Run struct {
 	rows   [][]int
 	ranges [][]colstore.Range
 	f64    [][]float64
+	par    int
 }
 
 // Bind points the run's cancellation token at done (nil = never
@@ -55,6 +56,26 @@ func (r *Run) Cancelled() bool {
 		return false
 	}
 	return r.tok.Cancelled()
+}
+
+// SetMaxParallel caps the morsel fan-out degree of this run's operators:
+// n partitions at most, 1 forcing the serial path, 0 (the default)
+// deferring to the table's auto-parallel setting. The engine clamps the
+// effective degree per operator from the row count (small selections stay
+// serial; see morselDegree). Nil-safe no-op, so callers can thread an
+// optional run unconditionally.
+func (r *Run) SetMaxParallel(n int) {
+	if r != nil {
+		r.par = n
+	}
+}
+
+// MaxParallel reports the run's degree cap (0 = unset). Nil-safe.
+func (r *Run) MaxParallel() int {
+	if r == nil {
+		return 0
+	}
+	return r.par
 }
 
 // sameBase reports whether two slices share a backing array. Tracking

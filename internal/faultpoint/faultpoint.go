@@ -14,6 +14,8 @@
 //	engine.filter.block    — FilterRows, before each predicate kernel
 //	engine.kernel.chunk    — chunkKernel, once per scanChunk block
 //	engine.groupagg.pass   — GroupedAggregate, before each accumulate pass
+//	engine.morsel.worker   — morsel drivers, at the top of each partition
+//	engine.morsel.merge    — morsel drivers, before the ascending merge
 //	engine.select.refine   — selectRegionRows, before grid refinement
 //	grid.refine.partition  — parallel refinement, per worker partition
 //	sql.run.filter         — finishPointCloud, before the filter phases

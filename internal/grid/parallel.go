@@ -1,12 +1,12 @@
 package grid
 
 import (
-	"runtime"
 	"sync"
 
 	"gisnav/internal/colstore"
 	"gisnav/internal/faultpoint"
 	"gisnav/internal/geom"
+	"gisnav/internal/morsel"
 )
 
 // RefineParallel is Refine with the candidate rows partitioned across
@@ -27,82 +27,56 @@ func RefineParallel(xs, ys []float64, cand []colstore.Range, region Region, opts
 // rows total budget).
 var partialPool = colstore.Pool[int]{MaxElts: 1 << 25}
 
-// refineTask is one partition of a parallel refinement pass, handed to the
-// package's resident worker set.
-type refineTask struct {
-	xs, ys []float64
-	cand   []colstore.Range
-	region Region
-	opts   Options
-	slot   int
-	sc     *refineScratch
-}
-
 // refineScratch is the reusable fan-out scaffolding of one parallel
-// refinement pass: the partition range storage and the per-partition result
-// and stat slots. It recycles through a sync.Pool so a steady query stream
-// stops allocating O(workers) bookkeeping per query.
+// refinement pass: the partition range storage, the per-partition result
+// and stat slots, and the pass inputs the partitions read. It recycles
+// through a sync.Pool so a steady query stream stops allocating O(workers)
+// bookkeeping per query. Partitions fan across the shared resident worker
+// set (internal/morsel) — refineScratch is the pass's morsel.Runner.
 type refineScratch struct {
 	partBuf []colstore.Range // backing storage for every partition's ranges
 	cuts    []int            // partition end offsets into partBuf
 	parts   [][]colstore.Range
 	results [][]int
 	stats   []Stats
-	panics  []any // per-partition recovered panic values (nil = clean)
-	wg      sync.WaitGroup
+	pass    morsel.Pass
+	xs, ys  []float64
+	region  Region
+	opts    Options
 }
 
 var refineScratchPool = sync.Pool{New: func() any { return new(refineScratch) }}
 
-// The resident refinement worker set: GOMAXPROCS goroutines started lazily
-// on the first parallel pass, consuming partition tasks from one channel.
-// Replacing per-query goroutine+closure fan-out with resident workers keeps
-// the parallel arm allocation-free once warm; requesting more workers than
-// the set holds still completes (excess partitions queue), it just shares
-// the resident cores.
-var (
-	refineOnce  sync.Once
-	refineTasks chan refineTask
-)
-
-func ensureRefineWorkers() {
-	refineOnce.Do(func() {
-		n := runtime.GOMAXPROCS(0)
-		refineTasks = make(chan refineTask, 4*n)
-		for i := 0; i < n; i++ {
-			go func() {
-				for t := range refineTasks {
-					runTask(t)
-				}
-			}()
-		}
-	})
-}
-
-// runTask refines one partition into a pooled partial buffer, recovering
-// any panic below it so a poisoned partition can never strand the
-// resident worker set or leave the pass's WaitGroup hanging. The panic
-// value parks in the scratch's per-slot panic slot; RefineParallelInto
-// re-raises the first one after every partition has settled, and the
-// partial buffer goes straight back to its pool so accounting stays
-// balanced whichever way the partition ends.
-func runTask(t refineTask) {
-	defer t.sc.wg.Done()
+// RunPartition refines one partition into a pooled partial buffer. On a
+// panic below it the partial buffer goes straight back to its pool and the
+// result slot is cleared before the panic re-raises into the morsel
+// worker's recovery — pool accounting stays balanced whichever way the
+// partition ends, and RefineParallelInto re-raises the first parked panic
+// after every partition has settled.
+func (sc *refineScratch) RunPartition(slot int) {
 	// Per-partition match buffers are pooled: the dominant per-query
 	// allocation of the parallel arm would otherwise be one O(matches)
 	// vector per worker.
-	buf := partialPool.Get(colstore.RangesLen(t.cand))
+	buf := partialPool.Get(colstore.RangesLen(sc.parts[slot]))
 	defer func() {
 		if p := recover(); p != nil {
-			t.sc.panics[t.slot] = p
-			t.sc.results[t.slot] = nil
+			sc.results[slot] = nil
 			partialPool.Put(buf)
+			panic(p)
 		}
 	}()
 	if err := faultpoint.Hit("grid.refine.partition"); err != nil {
 		panic(err)
 	}
-	t.sc.results[t.slot], t.sc.stats[t.slot] = RefineInto(t.xs, t.ys, t.cand, t.region, t.opts, buf)
+	sc.results[slot], sc.stats[slot] = RefineInto(sc.xs, sc.ys, sc.parts[slot], sc.region, sc.opts, buf)
+}
+
+// release clears the pass inputs so a pooled scratch retains no caller
+// state (column backings, region geometry) between queries.
+func (sc *refineScratch) release() {
+	sc.xs, sc.ys = nil, nil
+	sc.region = nil
+	sc.opts = Options{}
 }
 
 // RefineParallelInto is RefineParallel appending into a caller-provided
@@ -112,40 +86,29 @@ func runTask(t refineTask) {
 // serves later passes.
 func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, opts Options, workers int, matches []int) ([]int, Stats) {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = morsel.Workers()
 	}
 	total := colstore.RangesLen(cand)
 	if workers == 1 || total < 4096 {
 		return RefineInto(xs, ys, cand, region, opts, matches)
 	}
-	ensureRefineWorkers()
 	sc := refineScratchPool.Get().(*refineScratch)
+	sc.xs, sc.ys, sc.region, sc.opts = xs, ys, region, opts
 	sc.split(cand, workers)
 	n := len(sc.parts)
-	// Partitions beyond the first go to the resident workers; the caller
-	// refines partition 0 itself instead of idling on the WaitGroup.
-	sc.wg.Add(n)
-	for w := 1; w < n; w++ {
-		refineTasks <- refineTask{xs: xs, ys: ys, cand: sc.parts[w], region: region, opts: opts, slot: w, sc: sc}
-	}
-	runTask(refineTask{xs: xs, ys: ys, cand: sc.parts[0], region: region, opts: opts, slot: 0, sc: sc})
-	sc.wg.Wait()
-
-	for w := 0; w < n; w++ {
-		if p := sc.panics[w]; p != nil {
-			// A panicked partition poisons the whole pass: recycle every
-			// surviving partial buffer, return the scratch clean, and
-			// re-raise the first panic for the query layer's recovery.
-			for v := 0; v < n; v++ {
-				if sc.results[v] != nil {
-					partialPool.Put(sc.results[v])
-					sc.results[v] = nil
-				}
-				sc.panics[v] = nil
+	if p := sc.pass.Run(n, sc); p != nil {
+		// A panicked partition poisons the whole pass: recycle every
+		// surviving partial buffer, return the scratch clean, and
+		// re-raise the first panic for the query layer's recovery.
+		for v := 0; v < n; v++ {
+			if sc.results[v] != nil {
+				partialPool.Put(sc.results[v])
+				sc.results[v] = nil
 			}
-			refineScratchPool.Put(sc)
-			panic(p)
 		}
+		sc.release()
+		refineScratchPool.Put(sc)
+		panic(p)
 	}
 
 	var st Stats
@@ -168,25 +131,49 @@ func RefineParallelInto(xs, ys []float64, cand []colstore.Range, region Region, 
 			st.GridCellsY = sc.stats[w].GridCellsY
 		}
 	}
+	sc.release()
 	refineScratchPool.Put(sc)
 	return matches, st
 }
 
 // split cuts cand into at most n order-preserving partitions of roughly
-// equal row counts, reusing the scratch's backing storage (one shared
-// backing array plus offsets). It is the single partitioning definition;
-// SplitRanges is a thin allocating wrapper over it.
+// equal row counts via SplitRangesInto, then sizes the per-partition
+// result and stat slots.
 func (sc *refineScratch) split(cand []colstore.Range, n int) {
+	sc.partBuf, sc.cuts, sc.parts = SplitRangesInto(cand, n, sc.partBuf, sc.cuts, sc.parts)
+	if cap(sc.results) < len(sc.parts) {
+		sc.results = make([][]int, len(sc.parts))
+		sc.stats = make([]Stats, len(sc.parts))
+		return
+	}
+	sc.results = sc.results[:len(sc.parts)]
+	sc.stats = sc.stats[:len(sc.parts)]
+	for i := range sc.stats {
+		sc.stats[i] = Stats{}
+		sc.results[i] = nil
+	}
+}
+
+// SplitRangesInto cuts a sorted range list into at most n partitions of
+// roughly equal row counts, preserving order (partition i's rows all
+// precede partition i+1's), reusing the caller's backing storage: one
+// shared range array, the partition end offsets, and the partition
+// headers. It is the single partitioning definition — the refinement pass
+// and the engine's morsel drivers both split through it — and it
+// allocates nothing once the caller's slices have grown to the workload's
+// usual partition count. The returned partitions alias partBuf; treat
+// them as read-only and do not recycle cand before they are consumed.
+func SplitRangesInto(cand []colstore.Range, n int, partBuf []colstore.Range, cuts []int, parts [][]colstore.Range) ([]colstore.Range, []int, [][]colstore.Range) {
 	total := colstore.RangesLen(cand)
 	target := (total + n - 1) / n
-	sc.partBuf = sc.partBuf[:0]
-	sc.cuts = sc.cuts[:0]
+	partBuf = partBuf[:0]
+	cuts = cuts[:0]
 	currentRows := 0
 	for _, r := range cand {
 		for r.Len() > 0 {
 			room := target - currentRows
 			if room <= 0 {
-				sc.cuts = append(sc.cuts, len(sc.partBuf))
+				cuts = append(cuts, len(partBuf))
 				currentRows = 0
 				room = target
 			}
@@ -194,33 +181,21 @@ func (sc *refineScratch) split(cand []colstore.Range, n int) {
 			if take > room {
 				take = room
 			}
-			sc.partBuf = append(sc.partBuf, colstore.Range{Start: r.Start, End: r.Start + take})
+			partBuf = append(partBuf, colstore.Range{Start: r.Start, End: r.Start + take})
 			currentRows += take
 			r.Start += take
 		}
 	}
-	if len(sc.partBuf) > 0 && (len(sc.cuts) == 0 || sc.cuts[len(sc.cuts)-1] != len(sc.partBuf)) {
-		sc.cuts = append(sc.cuts, len(sc.partBuf))
+	if len(partBuf) > 0 && (len(cuts) == 0 || cuts[len(cuts)-1] != len(partBuf)) {
+		cuts = append(cuts, len(partBuf))
 	}
-	sc.parts = sc.parts[:0]
+	parts = parts[:0]
 	prev := 0
-	for _, cut := range sc.cuts {
-		sc.parts = append(sc.parts, sc.partBuf[prev:cut:cut])
+	for _, cut := range cuts {
+		parts = append(parts, partBuf[prev:cut:cut])
 		prev = cut
 	}
-	if cap(sc.results) < len(sc.parts) {
-		sc.results = make([][]int, len(sc.parts))
-		sc.stats = make([]Stats, len(sc.parts))
-		sc.panics = make([]any, len(sc.parts))
-		return
-	}
-	sc.results = sc.results[:len(sc.parts)]
-	sc.stats = sc.stats[:len(sc.parts)]
-	sc.panics = sc.panics[:len(sc.parts)]
-	for i := range sc.stats {
-		sc.stats[i] = Stats{}
-		sc.panics[i] = nil
-	}
+	return partBuf, cuts, parts
 }
 
 // SplitRanges cuts a sorted range list into n partitions of roughly equal
@@ -231,14 +206,13 @@ func (sc *refineScratch) split(cand []colstore.Range, n int) {
 // read-only.
 func SplitRanges(cand []colstore.Range, n int) [][]colstore.Range {
 	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+		n = morsel.Workers()
 	}
 	if colstore.RangesLen(cand) == 0 || n <= 1 {
 		return [][]colstore.Range{cand}
 	}
-	var sc refineScratch
-	sc.split(cand, n)
-	return sc.parts
+	_, _, parts := SplitRangesInto(cand, n, nil, nil, nil)
+	return parts
 }
 
 // RefineAuto picks the parallel path for large candidate sets and the

@@ -21,13 +21,23 @@ import (
 
 // Executor runs SQL statements against an engine catalog.
 type Executor struct {
-	db    *engine.DB
-	stmts stmtCache
-	gate  gate
+	db       *engine.DB
+	stmts    stmtCache
+	gate     gate
+	parallel atomic.Int32
 }
 
 // New returns an executor over db.
 func New(db *engine.DB) *Executor { return &Executor{db: db} }
+
+// SetParallelism caps the morsel fan-out degree of this executor's runs:
+// n partitions at most per operator, 1 forcing every operator serial, 0
+// (the default) deferring to each table's auto-parallel setting. The
+// engine still clamps the effective degree per operator from the driving
+// row count, so small selections stay serial whatever the cap (see
+// engine.Run.SetMaxParallel). Safe to change while queries are in flight;
+// in-flight runs keep the degree they started with.
+func (e *Executor) SetParallelism(n int) { e.parallel.Store(int32(n)) }
 
 // Result is a completed query: column names, value rows, and the operator
 // trace (the demo's per-operator EXPLAIN view; nil for untraced runs).

@@ -259,6 +259,9 @@ func (pq *PreparedQuery) lifecycleRun(ctx context.Context, ex *engine.Explain, p
 	start := time.Now()
 	rs := getRunState()
 	rs.Bind(ctx.Done())
+	// Run records recycle across queries (and executors), so the degree
+	// cap is stamped on every run, never inherited from the previous one.
+	rs.SetMaxParallel(int(pq.ex.parallel.Load()))
 	defer func() {
 		if p := recover(); p != nil {
 			// A panic anywhere below — kernel, interpreter, refinement

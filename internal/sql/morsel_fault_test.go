@@ -1,0 +1,167 @@
+//go:build faultinject
+
+package sql
+
+import (
+	"errors"
+	"testing"
+
+	"gisnav/internal/engine"
+	"gisnav/internal/faultpoint"
+	"gisnav/internal/geom"
+	"gisnav/internal/synth"
+)
+
+// Armed-build tests for the morsel fan-out behind the SQL layer: with a
+// table past the parallel crossover and an executor degree cap set, a
+// worker panic must surface as a *QueryError with the statement poisoned
+// (next run replans), and a merge error as a plain error — both with the
+// pool accounting at pre-query values. The small testDB cloud stays under
+// the crossover, so these tests build their own.
+
+// morselTestDB registers a cloud big enough that a degree-4 cap actually
+// fans out (~280k points; the crossover is 2×65536 rows).
+func morselTestDB(t *testing.T) *Executor {
+	t.Helper()
+	region := geom.NewEnvelope(0, 0, 2000, 2000)
+	terrain := synth.NewTerrain(81, region)
+	pts := synth.GenerateTile(terrain, synth.TileSpec{Env: region, Density: 0.07, Seed: 11})
+	pc := engine.NewPointCloud()
+	pc.AppendLAS(pts)
+	db := engine.NewDB()
+	db.RegisterPointCloud("big", pc)
+	e := New(db)
+	e.SetParallelism(4)
+	return e
+}
+
+// morselDrift runs fn and returns the summed drift of every pool the
+// parallel paths draw from (selection vectors, candidate ranges, f64
+// scratch — the grouped merge uses all three).
+func morselDrift(t *testing.T, fn func()) int64 {
+	t.Helper()
+	before := engine.SelectionPoolStats().Outstanding +
+		engine.RangePoolStats().Outstanding +
+		engine.F64PoolStats().Outstanding
+	fn()
+	return engine.SelectionPoolStats().Outstanding +
+		engine.RangePoolStats().Outstanding +
+		engine.F64PoolStats().Outstanding - before
+}
+
+// morselQueries routes each parallel driver through a real statement: the
+// filter fan-out behind a thematic predicate, the min/max fused-aggregate
+// fan-out, and the grouped fan-out (count/min/max specs only — a sum in
+// the list keeps grouping serial by design).
+var morselQueries = map[string]string{
+	"filter":  "SELECT count(*) FROM big WHERE z > 5",
+	"agg":     "SELECT max(z) FROM big",
+	"grouped": "SELECT classification, count(*), min(z) FROM big GROUP BY classification",
+}
+
+func TestFaultMorselWorkerPanicPoisonsStatement(t *testing.T) {
+	e := morselTestDB(t)
+	for name, q := range morselQueries {
+		t.Run(name, func(t *testing.T) {
+			t.Cleanup(faultpoint.Reset)
+			want := mustQuery(t, e, q).Rows // pre-panic truth
+			before := e.ExecStats().Panicked
+
+			// After: 1 lets one partition through so siblings hold partial
+			// buffers when the panic fires.
+			faultpoint.Arm("engine.morsel.worker", faultpoint.Action{Panic: "morsel fault", After: 1})
+			delta := morselDrift(t, func() {
+				res, err := e.Query(q)
+				if res != nil {
+					t.Fatal("panicked query returned a result")
+				}
+				var qe *QueryError
+				if !errors.As(err, &qe) {
+					t.Fatalf("err = %v (%T), want *QueryError", err, err)
+				}
+				if qe.Panic != "morsel fault" {
+					t.Fatalf("recovered %v, want the armed panic value", qe.Panic)
+				}
+			})
+			if delta != 0 {
+				t.Fatalf("morsel worker panic drifted pools by %d", delta)
+			}
+			if faultpoint.HitCount("engine.morsel.worker") == 0 {
+				t.Fatalf("query %q never fanned out — worker point not hit", q)
+			}
+			if got := e.ExecStats().Panicked; got != before+1 {
+				t.Fatalf("Panicked = %d, want %d", got, before+1)
+			}
+
+			// Poisoned statement: the next run replans and matches the
+			// pre-panic truth exactly.
+			faultpoint.Disarm("engine.morsel.worker")
+			res, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("post-panic run: %v", err)
+			}
+			if len(res.Rows) != len(want) {
+				t.Fatalf("post-panic run: %d rows, want %d", len(res.Rows), len(want))
+			}
+			for i := range want {
+				for j := range want[i] {
+					if res.Rows[i][j].String() != want[i][j].String() {
+						t.Fatalf("post-panic row %d col %d = %s, want %s",
+							i, j, res.Rows[i][j].String(), want[i][j].String())
+					}
+				}
+			}
+			var origin string
+			for _, s := range res.Explain.Steps {
+				if s.Op == "plan" {
+					origin = s.Detail
+				}
+			}
+			if origin != originPoisoned {
+				t.Fatalf("post-panic plan origin = %q, want %q", origin, originPoisoned)
+			}
+		})
+	}
+}
+
+func TestFaultMorselMergeErrorSurfaces(t *testing.T) {
+	e := morselTestDB(t)
+	for name, q := range morselQueries {
+		t.Run(name, func(t *testing.T) {
+			t.Cleanup(faultpoint.Reset)
+			mustQuery(t, e, q) // warm: plan cached, pools primed
+			faultpoint.Arm("engine.morsel.merge", faultpoint.Action{Err: errInjected})
+			delta := morselDrift(t, func() {
+				_, err := e.Query(q)
+				if !errors.Is(err, errInjected) {
+					t.Fatalf("err = %v, want the injected merge fault", err)
+				}
+			})
+			if delta != 0 {
+				t.Fatalf("morsel merge error drifted pools by %d", delta)
+			}
+			if faultpoint.HitCount("engine.morsel.merge") == 0 {
+				t.Fatalf("query %q never fanned out — merge point not hit", q)
+			}
+			faultpoint.Disarm("engine.morsel.merge")
+			mustQuery(t, e, q) // the executor recovers without replumbing
+		})
+	}
+}
+
+// TestFaultMorselSerialUnderCap pins the degree plumbing itself: with the
+// executor capped at 1 the same statements must never reach the morsel
+// points, so a panic armed there cannot fire.
+func TestFaultMorselSerialUnderCap(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	e := morselTestDB(t)
+	e.SetParallelism(1)
+	faultpoint.Arm("engine.morsel.worker", faultpoint.Action{Panic: "should not fan out"})
+	faultpoint.Arm("engine.morsel.merge", faultpoint.Action{Err: errInjected})
+	for _, q := range morselQueries {
+		mustQuery(t, e, q)
+	}
+	if n := faultpoint.HitCount("engine.morsel.worker"); n != 0 {
+		t.Fatalf("serial cap still hit the worker point %d times", n)
+	}
+}

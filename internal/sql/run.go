@@ -472,7 +472,7 @@ func computeAggregate(rs *engine.Run, b *binding, ps []Value, f FuncCall, rows [
 	if len(f.Args) != 1 {
 		return Value{}, fmt.Errorf("sql: %s expects one argument", f.Name)
 	}
-	if v, ok, err := kernelAggregate(b, f, rows, isVector); ok {
+	if v, ok, err := kernelAggregate(rs, b, f, rows, isVector); ok {
 		return v, err
 	}
 	ctx := &evalCtx{b: b, ps: ps, pcRow: -1, vtRow: -1}
@@ -535,8 +535,10 @@ func computeAggregate(rs *engine.Run, b *binding, ps []Value, f FuncCall, rows [
 // evaluation. ok reports whether the shape was recognised; when false, the
 // caller falls back to the generic path. Results are identical: column
 // references evaluate to the same float64 widening the kernels use, and
-// accumulation order is unchanged (ascending rows).
-func kernelAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, bool, error) {
+// accumulation order is unchanged (ascending rows) — min/max over large
+// selections may fan across the worker set, whose ascending-partition
+// merge is bit-identical to the serial fold.
+func kernelAggregate(rs *engine.Run, b *binding, f FuncCall, rows []int, isVector bool) (Value, bool, error) {
 	if isVector || b.pc == nil {
 		return Value{}, false, nil
 	}
@@ -567,7 +569,7 @@ func kernelAggregate(b *binding, f FuncCall, rows []int, isVector bool) (Value, 
 		}
 		return Value{Kind: KindNull}, true, nil
 	}
-	v, err := b.pc.Aggregate(rows, fn, col, nil)
+	v, err := b.pc.AggregateRun(rs, rows, fn, col, nil)
 	if err != nil {
 		return Value{}, true, err
 	}
