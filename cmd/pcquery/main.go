@@ -7,10 +7,12 @@
 //
 //	pcquery -data data -q "SELECT count(*) FROM ahn2 WHERE classification = 9"
 //	pcquery -data data -explain              # REPL
+//	pcquery -data data -timeout 50ms -q "..."  # deadline through QueryContext
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 
 	"gisnav/internal/bench"
 	"gisnav/internal/dataset"
+	"gisnav/internal/server"
 	"gisnav/internal/sql"
 )
 
@@ -28,6 +31,7 @@ func main() {
 		query   = flag.String("q", "", "one-shot query; REPL when empty")
 		explain = flag.Bool("explain", false, "print per-operator execution traces")
 		maxRows = flag.Int("maxrows", 20, "result rows to display")
+		timeout = flag.Duration("timeout", 0, "per-query deadline, wired through QueryContext (0 = none)")
 	)
 	flag.Parse()
 
@@ -43,8 +47,8 @@ func main() {
 
 	exec := sql.New(db)
 	if *query != "" {
-		if err := runOne(exec, *query, *explain, *maxRows); err != nil {
-			fmt.Fprintln(os.Stderr, "pcquery:", err)
+		if err := runOne(exec, *query, *explain, *maxRows, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "pcquery:", describeErr(err))
 			os.Exit(1)
 		}
 		return
@@ -61,15 +65,28 @@ func main() {
 		if line == "" || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			return
 		}
-		if err := runOne(exec, line, *explain, *maxRows); err != nil {
-			fmt.Println("error:", err)
+		if err := runOne(exec, line, *explain, *maxRows, *timeout); err != nil {
+			fmt.Println("error:", describeErr(err))
 		}
 	}
 }
 
-func runOne(exec *sql.Executor, q string, explain bool, maxRows int) error {
+// describeErr appends the serving layer's stable taxonomy code, so scripts
+// driving pcquery can branch on [deadline] / [overloaded] / ... the same
+// way HTTP clients branch on the JSON error code.
+func describeErr(err error) string {
+	return fmt.Sprintf("%v [%s]", err, server.Code(err))
+}
+
+func runOne(exec *sql.Executor, q string, explain bool, maxRows int, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := exec.Query(q)
+	res, err := exec.QueryContext(ctx, q)
 	if err != nil {
 		return err
 	}

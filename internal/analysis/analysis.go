@@ -1,7 +1,7 @@
 // Package analysis is the repo's custom static-analysis suite: a minimal
 // AST/type-driven analyzer framework (stdlib only — go/parser, go/types and
 // the source importer; the module has no dependencies and must stay
-// offline-buildable) plus the five analyzers that mechanically enforce the
+// offline-buildable) plus the six analyzers that mechanically enforce the
 // ROADMAP's architecture invariants:
 //
 //	constslot    — kernel closures must not capture predicate constants;
@@ -15,6 +15,8 @@
 //	               capture epochs before reading table state.
 //	boundedcache — cache maps show a bound/eviction check and surface a
 //	               stats counter.
+//	ctxflow      — HTTP handlers run queries through the *Context executor
+//	               variants, so deadlines and drain cancellation propagate.
 //
 // The analyzers are example-driven, not sound: each one encodes the shape
 // the invariant takes in THIS codebase (the golden tests under testdata pin
@@ -224,6 +226,7 @@ func All() []*Analyzer {
 		CancelPollAnalyzer,
 		EpochGuardAnalyzer,
 		BoundedCacheAnalyzer,
+		CtxFlowAnalyzer,
 	}
 }
 

@@ -109,6 +109,7 @@ func TestGolden(t *testing.T) {
 		{"cancelpoll", []string{"cancelpoll"}},
 		{"epochguard", []string{"epochguard"}},
 		{"boundedcache", []string{"boundedcache"}},
+		{"ctxflow", []string{"ctxflow"}},
 		// The suppression fixture runs under releaselist: each //lint:ignore
 		// must silence exactly one of its diagnostics.
 		{"suppress", []string{"releaselist"}},

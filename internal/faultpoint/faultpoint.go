@@ -20,6 +20,8 @@
 //	grid.refine.partition  — parallel refinement, per worker partition
 //	sql.run.filter         — finishPointCloud, before the filter phases
 //	sql.run.output         — output, before projection/aggregation
+//	server.handler         — query handler entry, before request parsing
+//	server.response.write  — between status and body of every response
 package faultpoint
 
 import "time"

@@ -1,0 +1,68 @@
+// The per-connection session table. Each TCP connection (keyed by its
+// remote address, unique per connection) gets a small session record —
+// query count, last activity — surfaced through /stats. A hostile client
+// opening unbounded connections must not grow the map forever, so past the
+// bound the whole table is dropped and rebuilt from the live traffic (the
+// same drop-and-rebuild policy as the statement and plan caches below the
+// serving layer; the boundedcache analyzer enforces the shape).
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// session is one connection's accumulated state.
+type session struct {
+	queries  uint64
+	lastSeen int64 // unix nanos
+}
+
+// sessionCache is the bounded per-connection session table.
+type sessionCache struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	max      int
+
+	total uint64 // sessions ever created (survives rebuilds)
+	drops uint64 // whole-table rebuilds forced by the bound
+}
+
+// touch records one query on addr's session, creating it if needed and
+// dropping the table first when it outgrew the bound.
+func (c *sessionCache) touch(addr string, now time.Time) {
+	c.mu.Lock()
+	s := c.sessions[addr]
+	if s == nil {
+		if c.sessions == nil || len(c.sessions) >= c.max {
+			if len(c.sessions) >= c.max {
+				c.drops++
+			}
+			c.sessions = make(map[string]*session, 16)
+		}
+		s = &session{}
+		c.sessions[addr] = s
+		c.total++
+	}
+	s.queries++
+	s.lastSeen = now.UnixNano()
+	c.mu.Unlock()
+}
+
+// SessionStats reports the session table's occupancy and churn.
+type SessionStats struct {
+	// Entries is the current table occupancy (bounded by MaxSessions).
+	Entries int `json:"entries"`
+	// Total is the number of sessions ever created, across rebuilds.
+	Total uint64 `json:"total"`
+	// Drops is the number of whole-table rebuilds the bound forced.
+	Drops uint64 `json:"drops"`
+}
+
+// stats snapshots the table.
+func (c *sessionCache) stats() SessionStats {
+	c.mu.Lock()
+	st := SessionStats{Entries: len(c.sessions), Total: c.total, Drops: c.drops}
+	c.mu.Unlock()
+	return st
+}

@@ -1,0 +1,59 @@
+package sql
+
+import (
+	"runtime"
+	"testing"
+
+	"gisnav/internal/engine"
+)
+
+// The executor-wide clamping rule for nonsensical tuning arguments: any
+// n <= 0 passed to SetMaxInFlight or SetParallelism selects the default,
+// never a degenerate mode (a zero-slot gate, a stuck serial cap). Pinned
+// here so config plumbing that forwards unvalidated values stays safe.
+
+func TestSetMaxInFlightClamp(t *testing.T) {
+	e := New(engine.NewDB())
+	def := 2 * runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		e.SetMaxInFlight(n)
+		if got := e.ExecStats().MaxInFlight; got != def {
+			t.Fatalf("SetMaxInFlight(%d): MaxInFlight = %d, want default %d", n, got, def)
+		}
+		if got := cap(e.gate.slotsChan()); got != def {
+			t.Fatalf("SetMaxInFlight(%d): slot capacity = %d, want default %d", n, got, def)
+		}
+	}
+	e.SetMaxInFlight(3)
+	if got := e.ExecStats().MaxInFlight; got != 3 {
+		t.Fatalf("SetMaxInFlight(3): MaxInFlight = %d", got)
+	}
+	if got := cap(e.gate.slotsChan()); got != 3 {
+		t.Fatalf("SetMaxInFlight(3): slot capacity = %d", got)
+	}
+	// A later nonsensical value restores the default rather than keeping
+	// the previous explicit bound — the rule is "select the default", not
+	// "ignore the call".
+	e.SetMaxInFlight(-1)
+	if got := e.ExecStats().MaxInFlight; got != def {
+		t.Fatalf("SetMaxInFlight(-1) after 3: MaxInFlight = %d, want default %d", got, def)
+	}
+}
+
+func TestSetParallelismClamp(t *testing.T) {
+	e := New(engine.NewDB())
+	for _, n := range []int{0, -1, -7} {
+		e.SetParallelism(n)
+		if got := e.parallel.Load(); got != 0 {
+			t.Fatalf("SetParallelism(%d): stored %d, want 0 (default)", n, got)
+		}
+	}
+	e.SetParallelism(4)
+	if got := e.parallel.Load(); got != 4 {
+		t.Fatalf("SetParallelism(4): stored %d", got)
+	}
+	e.SetParallelism(-2)
+	if got := e.parallel.Load(); got != 0 {
+		t.Fatalf("SetParallelism(-2) after 4: stored %d, want 0 (default)", got)
+	}
+}

@@ -31,13 +31,21 @@ type Executor struct {
 func New(db *engine.DB) *Executor { return &Executor{db: db} }
 
 // SetParallelism caps the morsel fan-out degree of this executor's runs:
-// n partitions at most per operator, 1 forcing every operator serial, 0
-// (the default) deferring to each table's auto-parallel setting. The
-// engine still clamps the effective degree per operator from the driving
-// row count, so small selections stay serial whatever the cap (see
-// engine.Run.SetMaxParallel). Safe to change while queries are in flight;
-// in-flight runs keep the degree they started with.
-func (e *Executor) SetParallelism(n int) { e.parallel.Store(int32(n)) }
+// n partitions at most per operator, 1 forcing every operator serial, and
+// any n <= 0 selecting the default (defer to each table's auto-parallel
+// setting) — the same clamping rule as SetMaxInFlight, so nonsensical
+// arguments from config plumbing degrade to defaults instead of to an
+// accidental serial-only or unbounded mode. The engine still clamps the
+// effective degree per operator from the driving row count, so small
+// selections stay serial whatever the cap (see engine.Run.SetMaxParallel).
+// Safe to change while queries are in flight; in-flight runs keep the
+// degree they started with.
+func (e *Executor) SetParallelism(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	e.parallel.Store(int32(n))
+}
 
 // Result is a completed query: column names, value rows, and the operator
 // trace (the demo's per-operator EXPLAIN view; nil for untraced runs).

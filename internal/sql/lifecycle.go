@@ -158,12 +158,18 @@ func (g *gate) countCtx(err error) error {
 	return err
 }
 
-// SetMaxInFlight rebounds the admission gate (n <= 0 restores the
-// 2×GOMAXPROCS default). Queries already in flight drain against the
-// channel they were admitted on; new admissions see the new bound.
+// SetMaxInFlight rebounds the admission gate. Any n <= 0 selects the
+// default (2×GOMAXPROCS) — the executor-wide clamping rule shared with
+// SetParallelism: nonsensical arguments degrade to the default, never to
+// a zero-slot gate that would shed every query. Queries already in flight
+// drain against the channel they were admitted on; new admissions see the
+// new bound.
 func (e *Executor) SetMaxInFlight(n int) {
 	g := &e.gate
 	g.mu.Lock()
+	if n < 0 {
+		n = 0 // slotsChan treats 0 as "apply the default bound"
+	}
 	g.max = n
 	g.slots = nil
 	g.mu.Unlock()
