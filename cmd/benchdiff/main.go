@@ -54,7 +54,7 @@ func key(r record) string { return r.Experiment + "|" + r.Name + "|" + r.Arm }
 
 func main() {
 	threshold := flag.Float64("threshold", 2.0, "fail when new/baseline time exceeds this ratio")
-	experiment := flag.String("experiment", "repeated,panzoom,grouped,cancel,parallel,serve",
+	experiment := flag.String("experiment", "repeated,panzoom,grouped,cancel,parallel,serve,pyramid",
 		"guard records of these experiments, comma-separated (empty = all)")
 	prefix := flag.String("prefix", "sql", "guard records whose name has this prefix (empty = all)")
 	flag.Parse()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gisnav/internal/engine"
+	"gisnav/internal/pyramid"
 	"gisnav/internal/sql"
 )
 
@@ -72,6 +73,11 @@ type jsonReport struct {
 	Records     []jsonRecord  `json:"records"`
 	CacheStats  []cacheRecord `json:"cache_stats,omitempty"`
 	ExecStats   []execRecord  `json:"exec_stats,omitempty"`
+	// PyramidStats snapshots the pre-aggregation pyramid counters after
+	// E18: builds, epoch drops and the interior/boundary tile split, so a
+	// routing regression (everything classifying boundary) is visible in
+	// the trajectory even when latency noise hides it.
+	PyramidStats *pyramid.Stats `json:"pyramid_stats,omitempty"`
 }
 
 // add appends one measurement.
@@ -132,6 +138,11 @@ func (r *jsonReport) addExec(experiment string, st sql.ExecStats) {
 		Panicked:         st.Panicked,
 		EWMARunNanos:     st.EWMARunNanos,
 	})
+}
+
+// addPyramid records the pyramid-cache counter snapshot.
+func (r *jsonReport) addPyramid(st pyramid.Stats) {
+	r.PyramidStats = &st
 }
 
 // write dumps the report as indented JSON to path.

@@ -27,11 +27,12 @@ import (
 
 func main() {
 	var (
-		dir     = flag.String("data", "data", "dataset directory (from lasgen)")
-		query   = flag.String("q", "", "one-shot query; REPL when empty")
-		explain = flag.Bool("explain", false, "print per-operator execution traces")
-		maxRows = flag.Int("maxrows", 20, "result rows to display")
-		timeout = flag.Duration("timeout", 0, "per-query deadline, wired through QueryContext (0 = none)")
+		dir      = flag.String("data", "data", "dataset directory (from lasgen)")
+		query    = flag.String("q", "", "one-shot query; REPL when empty")
+		explain  = flag.Bool("explain", false, "print per-operator execution traces")
+		maxRows  = flag.Int("maxrows", 20, "result rows to display")
+		timeout  = flag.Duration("timeout", 0, "per-query deadline, wired through QueryContext (0 = none)")
+		parallel = flag.Int("parallel", 0, "kernel worker cap per query (<=0 = default: GOMAXPROCS, max 8)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	fmt.Printf("tables: %s\n", strings.Join(db.Tables(), ", "))
 
 	exec := sql.New(db)
+	exec.SetParallelism(*parallel)
 	if *query != "" {
 		if err := runOne(exec, *query, *explain, *maxRows, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "pcquery:", describeErr(err))

@@ -41,6 +41,7 @@ var acquireFuncNames = map[string]bool{
 	"getRangeBuf": true,
 	"getF64Buf":   true,
 	"AcquireRows": true, // package-level engine.AcquireRows; the Run method is the tracked form
+	"AcquireF64":  true, // package-level engine.AcquireF64; the Run method is the tracked form
 }
 
 // trackMethodNames are the release-list registration methods on the run.
@@ -50,6 +51,8 @@ var trackMethodNames = map[string]bool{
 	"AcquireRows": true,
 	"trackRanges": true,
 	"trackF64":    true,
+	"TrackF64":    true,
+	"AcquireF64":  true,
 }
 
 // bareRecycleNames are the package-level recycle functions that bypass the
@@ -58,6 +61,7 @@ var bareRecycleNames = map[string]bool{
 	"RecycleRows":   true,
 	"RecycleRanges": true,
 	"recycleF64":    true,
+	"RecycleF64":    true,
 }
 
 // ReleaseListAnalyzer enforces the release-list discipline.

@@ -33,6 +33,47 @@ func (c *planCache) stats() CacheSnapshot {
 	return CacheSnapshot{Plans: len(c.plans)}
 }
 
+// tileKey/tileEntry mirror the pyramid cache's composite-keyed, refcounted
+// entries: tiles is bounded by eviction and surfaced through stats;
+// byEpoch is bounded but never read by a stats accessor.
+type tileKey struct {
+	table string
+	sig   string
+}
+
+type tileEntry struct {
+	refs int
+}
+
+const maxTiles = 8
+
+type tileCache struct {
+	tiles   map[tileKey]*tileEntry
+	byEpoch map[uint64]int // want `cache map tileCache.byEpoch is not exposed by any stats accessor`
+}
+
+func (c *tileCache) insert(k tileKey, e *tileEntry, epoch uint64) {
+	if c.tiles == nil {
+		c.tiles = map[tileKey]*tileEntry{}
+		c.byEpoch = map[uint64]int{}
+	}
+	if len(c.tiles) >= maxTiles {
+		for k2 := range c.tiles { // evict an arbitrary resident entry
+			delete(c.tiles, k2)
+			break
+		}
+	}
+	if len(c.byEpoch) >= maxTiles {
+		c.byEpoch = map[uint64]int{}
+	}
+	c.tiles[k] = e
+	c.byEpoch[epoch]++
+}
+
+func (c *tileCache) stats() CacheSnapshot {
+	return CacheSnapshot{Plans: len(c.tiles)}
+}
+
 // shapeFront is a package-level cache map: bounded below but invisible to
 // any stats accessor.
 var shapeFront = map[string]int{} // want `cache map shapeFront is not exposed by any stats accessor`

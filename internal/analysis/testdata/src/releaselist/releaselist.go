@@ -11,12 +11,16 @@ func (r *Run) SwapRows(old, next []int) []int   { return next }
 func (r *Run) AcquireRows(n int) []int          { return make([]int, 0, n) }
 func (r *Run) RecycleRows(buf []int)            {}
 func (r *Run) trackF64(buf []float64) []float64 { return buf }
+func (r *Run) AcquireF64(n int) []float64       { return make([]float64, 0, n) }
+func (r *Run) RecycleF64(buf []float64)         {}
 
 // Package-level pool API (the raw, untracked forms).
-func getRowBuf(n int) []int     { return make([]int, 0, n) }
-func getF64Buf(n int) []float64 { return make([]float64, 0, n) }
-func AcquireRows(n int) []int   { return make([]int, n) }
-func RecycleRows(buf []int)     {}
+func getRowBuf(n int) []int      { return make([]int, 0, n) }
+func getF64Buf(n int) []float64  { return make([]float64, 0, n) }
+func AcquireRows(n int) []int    { return make([]int, n) }
+func RecycleRows(buf []int)      {}
+func AcquireF64(n int) []float64 { return make([]float64, n) }
+func RecycleF64(buf []float64)   {}
 
 // groupState mirrors the grouped-aggregate track-after-production shape.
 type groupState struct {
@@ -94,4 +98,34 @@ func badMorselMerge(run *Run, banks [][]float64, n int) {
 func goodMorselWorkerScratch(slots [][]int, slot, n int) {
 	buf := getRowBuf(n)
 	slots[slot] = buf
+}
+
+// goodPyramidQuery: the pyramid viewport-query shape — a flat aggregation
+// slab and a boundary row buffer drawn through the run's tracked forms and
+// recycled through the run, so cancellation unwind stays balanced.
+func goodPyramidQuery(run *Run, n int) {
+	slab := run.AcquireF64((1 + n) * 256)
+	rbuf := run.AcquireRows(n)
+	_ = slab[:256]
+	run.RecycleRows(rbuf)
+	run.RecycleF64(slab)
+}
+
+// badPyramidQuery: the same shape with the raw pool forms — the slab never
+// reaches the release list and the bare recycle would double-free on
+// unwind.
+func badPyramidQuery(run *Run, n int) {
+	slab := AcquireF64((1 + n) * 256) // want `pooled acquisition AcquireF64\(...\) is not registered`
+	_ = slab[:256]
+	RecycleF64(slab) // want `RecycleF64 bypasses the run's release list`
+}
+
+// goodPyramidOwner: pyramid construction and teardown are cache-owned, not
+// run-owned — no lifecycle record is in scope, so the raw pool forms are
+// the correct idiom (the entry's final Release recycles them).
+func goodPyramidOwner(n int) []float64 {
+	bank := AcquireF64(n)
+	cnt := getF64Buf(256)
+	RecycleF64(cnt)
+	return bank
 }

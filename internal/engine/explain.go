@@ -16,6 +16,7 @@ const (
 	opScanRange        = "scan.range"        // full-column range kernel (no index)
 	opAggregate        = "aggregate"         // typed aggregate kernel
 	opGroupAgg         = "group.agg"         // grouped-aggregate kernel (dense/hash)
+	opTileAgg          = "tile.agg"          // pyramid tile pre-aggregation build
 	opGridRefine       = "grid.refine"       // spatial refinement over candidates
 	opSelectRegion     = "select.region"     // spatial selection driver
 	opImprintsBuild    = "imprints.build"    // one-time index construction

@@ -504,8 +504,14 @@ func hashGrouped(run *Run, pc *PointCloud, keyCol colstore.Column, rows []int, a
 	run.trackF64(g.cnt)
 
 	groups := len(g.keys)
-	bank := run.trackF64(getF64Buf(groups))
+	// 2× groups: a fused min/max pair accumulates its lo and hi banks in
+	// one gather pass over the shared value column.
+	bank := run.trackF64(getF64Buf(2 * groups))
+	var fusedDone uint64
 	for j, s := range specs {
+		if j < 64 && fusedDone&(1<<uint(j)) != 0 {
+			continue // emitted by an earlier partner's fused pass
+		}
 		if err := groupPassCheckpoint(run); err != nil {
 			run.recycleF64(bank)
 			run.recycleF64(g.keys)
@@ -514,31 +520,51 @@ func hashGrouped(run *Run, pc *PointCloud, keyCol colstore.Column, rows []int, a
 			run.RecycleRows(slots)
 			return err
 		}
-		bank = bank[:groups]
-		switch s.Fn {
-		case AggCount:
+		if s.Fn == AggCount {
 			res.Cols[j] = append(res.Cols[j], g.cnt...)
 			continue
+		}
+		if s.Fn == AggMin || s.Fn == AggMax {
+			if k := fusePartner(specs, j); k >= 0 {
+				lo := bank[:groups]
+				hi := bank[groups : 2*groups]
+				for i := range lo {
+					lo[i] = math.Inf(1)
+					hi[i] = math.Inf(-1)
+				}
+				hashAccumMinMaxCol(pc.Column(s.Column), rows, all, slots, lo, hi)
+				jMin, jMax := j, k
+				if s.Fn == AggMax {
+					jMin, jMax = k, j
+				}
+				res.Cols[jMin] = append(res.Cols[jMin], lo...)
+				res.Cols[jMax] = append(res.Cols[jMax], hi...)
+				fusedDone |= 1 << uint(k)
+				continue
+			}
+		}
+		b := bank[:groups]
+		switch s.Fn {
 		case AggMin:
-			for i := range bank {
-				bank[i] = math.Inf(1)
+			for i := range b {
+				b[i] = math.Inf(1)
 			}
 		case AggMax:
-			for i := range bank {
-				bank[i] = math.Inf(-1)
+			for i := range b {
+				b[i] = math.Inf(-1)
 			}
 		default:
-			for i := range bank {
-				bank[i] = 0
+			for i := range b {
+				b[i] = 0
 			}
 		}
-		hashAccumCol(pc.Column(s.Column), rows, all, slots, s.Fn, bank)
+		hashAccumCol(pc.Column(s.Column), rows, all, slots, s.Fn, b)
 		if s.Fn == AggAvg {
-			for i := range bank {
-				bank[i] /= g.cnt[i]
+			for i := range b {
+				b[i] /= g.cnt[i]
 			}
 		}
-		res.Cols[j] = append(res.Cols[j], bank...)
+		res.Cols[j] = append(res.Cols[j], b...)
 	}
 	res.Keys = append(res.Keys, g.keys...)
 	run.recycleF64(bank)
@@ -589,6 +615,28 @@ func hashKeys[K number](vals []K, rows []int, all bool, g *groupHash, slots []in
 		g.cnt[s]++
 		slots[i] = s
 	}
+}
+
+// fusePartner returns the index k > j of the first spec forming a fused
+// min/max pair with specs[j] — the opposite extreme over the same value
+// column — or -1. A fused pair shares one gather pass over the column
+// (hashAccumMinMax) instead of two. Sum/avg never fuse (their pass shape
+// differs and sums stay pinned to the ascending fold); indices cap at 64
+// so the caller's done-bitmask covers every fusable spec.
+func fusePartner(specs []GroupedAggSpec, j int) int {
+	if j >= 64 {
+		return -1
+	}
+	want := AggMin
+	if specs[j].Fn == AggMin {
+		want = AggMax
+	}
+	for k := j + 1; k < len(specs) && k < 64; k++ {
+		if specs[k].Fn == want && specs[k].Column == specs[j].Column {
+			return k
+		}
+	}
+	return -1
 }
 
 // hashAccumCol dispatches one accumulate pass to the value column type.
@@ -647,6 +695,58 @@ func hashAccum[V number](vals []V, rows []int, all bool, slots []int, fn AggFunc
 				r = rows[i]
 			}
 			bank[s] += float64(vals[r])
+		}
+	}
+}
+
+// hashAccumMinMaxCol dispatches one fused min+max gather pass to the
+// value column type.
+func hashAccumMinMaxCol(col colstore.Column, rows []int, all bool, slots []int, lo, hi []float64) {
+	switch c := col.(type) {
+	case *colstore.F64Column:
+		hashAccumMinMax(c.Values(), rows, all, slots, lo, hi)
+	case *colstore.I64Column:
+		hashAccumMinMax(c.Values(), rows, all, slots, lo, hi)
+	case *colstore.I32Column:
+		hashAccumMinMax(c.Values(), rows, all, slots, lo, hi)
+	case *colstore.U16Column:
+		hashAccumMinMax(c.Values(), rows, all, slots, lo, hi)
+	case *colstore.U8Column:
+		hashAccumMinMax(c.Values(), rows, all, slots, lo, hi)
+	default:
+		for i, s := range slots {
+			r := i
+			if !all {
+				r = rows[i]
+			}
+			v := col.Value(r)
+			if v < lo[s] {
+				lo[s] = v
+			}
+			if v > hi[s] {
+				hi[s] = v
+			}
+		}
+	}
+}
+
+// hashAccumMinMax is the fused gather loop of a min/max pair: one read of
+// the value column feeds two independent strict compares, so each bank is
+// bit-identical to its own single-spec hashAccum pass — NaN loses both
+// compares, ±Inf seeds survive empty groups, and the fold order over rows
+// is unchanged.
+func hashAccumMinMax[V number](vals []V, rows []int, all bool, slots []int, lo, hi []float64) {
+	for i, s := range slots {
+		r := i
+		if !all {
+			r = rows[i]
+		}
+		f := float64(vals[r])
+		if f < lo[s] {
+			lo[s] = f
+		}
+		if f > hi[s] {
+			hi[s] = f
 		}
 	}
 }

@@ -191,6 +191,57 @@ func TestGroupedAggregateMatchesReference(t *testing.T) {
 	checkGrouped(t, pc, small, ColIntensity, specs, GroupHash)
 }
 
+// TestGroupedAggregateFusedMinMax pins the fused min+max gather pass
+// (PR 10: a min/max pair over one value column shares a single pass) to
+// the row-at-a-time reference AND to the unfused single-spec runs,
+// bit-for-bit, on the hash path — serial and morsel-parallel, NaN values,
+// NaN/±0/+Inf keys, empty groups and the empty selection included.
+func TestGroupedAggregateFusedMinMax(t *testing.T) {
+	pc := groupTestCloud(t, 4<<16)
+	rng := rand.New(rand.NewSource(11))
+	specs := []GroupedAggSpec{
+		{Fn: AggCount},
+		{Fn: AggMin, Column: ColZ},
+		{Fn: AggMax, Column: ColZ},
+		{Fn: AggMax, Column: ColIntensity},
+		{Fn: AggMin, Column: ColIntensity},
+		{Fn: AggMin, Column: ColZ}, // duplicate: its partner is already paired
+	}
+	sels := [][]int{nil, {}, randomSelection(rng, pc.Len(), 0.6)}
+	for _, rows := range sels {
+		// Against the reference, on the fused hash arm and the (unfused)
+		// dense arm.
+		checkGrouped(t, pc, rows, ColGPSTime, specs, GroupHash)
+		checkGrouped(t, pc, rows, ColClassification, specs, GroupDense)
+		// Fused ≡ unfused: every spec alone must reproduce its column of
+		// the combined run exactly, at serial and fan-out degrees.
+		for _, deg := range []int{1, 4} {
+			var combined GroupedResult
+			if err := pc.GroupedAggregateRun(parRun(deg), rows, ColGPSTime, specs, &combined, nil); err != nil {
+				t.Fatal(err)
+			}
+			for j, s := range specs {
+				var solo GroupedResult
+				if err := pc.GroupedAggregateRun(parRun(deg), rows, ColGPSTime, []GroupedAggSpec{s}, &solo, nil); err != nil {
+					t.Fatal(err)
+				}
+				if len(solo.Keys) != len(combined.Keys) {
+					t.Fatalf("deg %d spec %d: %d groups solo, %d combined", deg, j, len(solo.Keys), len(combined.Keys))
+				}
+				for i := range solo.Keys {
+					if math.Float64bits(solo.Keys[i]) != math.Float64bits(combined.Keys[i]) {
+						t.Fatalf("deg %d spec %d group %d: key %v solo, %v combined", deg, j, i, solo.Keys[i], combined.Keys[i])
+					}
+					if math.Float64bits(solo.Cols[0][i]) != math.Float64bits(combined.Cols[j][i]) {
+						t.Fatalf("deg %d spec %d group %d: fused %v, unfused %v",
+							deg, j, i, combined.Cols[j][i], solo.Cols[0][i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestGroupedAggregateErrors covers the validation paths.
 func TestGroupedAggregateErrors(t *testing.T) {
 	pc := groupTestCloud(t, 100)

@@ -607,14 +607,43 @@ func (hp *hashPass) RunPartition(slot int) {
 		groups := len(g.keys)
 		bank = getF64Buf(hp.nacc * groups)[:hp.nacc*groups]
 		ai := 0
-		for _, s := range hp.specs {
+		var fusedDone uint64
+		for j, s := range hp.specs {
 			if s.Fn != AggMin && s.Fn != AggMax {
+				continue
+			}
+			if j < 64 && fusedDone&(1<<uint(j)) != 0 {
+				ai++ // segment filled by an earlier partner's fused pass
 				continue
 			}
 			if hp.tok.Cancelled() {
 				break
 			}
 			b := bank[ai*groups : (ai+1)*groups]
+			if k := fusePartner(hp.specs, j); k >= 0 {
+				// The partner's bank segment sits at its own min/max
+				// ordinal; the layout is unchanged, so the driver's
+				// ascending merge needs no fusion awareness.
+				pai := ai + 1
+				for m := j + 1; m < k; m++ {
+					if hp.specs[m].Fn == AggMin || hp.specs[m].Fn == AggMax {
+						pai++
+					}
+				}
+				pb := bank[pai*groups : (pai+1)*groups]
+				lo, hi := b, pb
+				if s.Fn == AggMax {
+					lo, hi = pb, b
+				}
+				for i := range lo {
+					lo[i] = math.Inf(1)
+					hi[i] = math.Inf(-1)
+				}
+				hashAccumMinMaxPart(hp.pc.Column(s.Column), hp.rows, hp.all, start, end, slots, lo, hi)
+				fusedDone |= 1 << uint(k)
+				ai++
+				continue
+			}
 			seed := math.Inf(1)
 			if s.Fn == AggMax {
 				seed = math.Inf(-1)
@@ -708,6 +737,37 @@ func hashAccumPart(col colstore.Column, rows []int, all bool, start, end int, sl
 	default:
 		for i, s := range slots {
 			accumOne(fn, bank, s, col.Value(start+i))
+		}
+	}
+}
+
+// hashAccumMinMaxPart is hashAccumMinMaxCol restricted to the partition
+// span.
+func hashAccumMinMaxPart(col colstore.Column, rows []int, all bool, start, end int, slots []int, lo, hi []float64) {
+	if !all {
+		hashAccumMinMaxCol(col, rows[start:end], false, slots, lo, hi)
+		return
+	}
+	switch c := col.(type) {
+	case *colstore.F64Column:
+		hashAccumMinMax(c.Values()[start:end], nil, true, slots, lo, hi)
+	case *colstore.I64Column:
+		hashAccumMinMax(c.Values()[start:end], nil, true, slots, lo, hi)
+	case *colstore.I32Column:
+		hashAccumMinMax(c.Values()[start:end], nil, true, slots, lo, hi)
+	case *colstore.U16Column:
+		hashAccumMinMax(c.Values()[start:end], nil, true, slots, lo, hi)
+	case *colstore.U8Column:
+		hashAccumMinMax(c.Values()[start:end], nil, true, slots, lo, hi)
+	default:
+		for i, s := range slots {
+			v := col.Value(start + i)
+			if v < lo[s] {
+				lo[s] = v
+			}
+			if v > hi[s] {
+				hi[s] = v
+			}
 		}
 	}
 }

@@ -179,6 +179,21 @@ func (r *Run) recycleF64(b []float64) {
 	f64Pool.Put(b)
 }
 
+// TrackF64 registers a float64 scratch buffer in the release list and
+// returns it — the exported form for layers above the engine (the
+// pyramid's per-query fold banks). Nil-safe.
+func (r *Run) TrackF64(b []float64) []float64 { return r.trackF64(b) }
+
+// AcquireF64 draws a tracked float64 scratch buffer from the engine's
+// pool. As with AcquireRows, the capacity hint must cover everything the
+// caller appends. Buffer contents are stale: initialise every element
+// before reading.
+func (r *Run) AcquireF64(capHint int) []float64 { return r.trackF64(getF64Buf(capHint)) }
+
+// RecycleF64 returns a float64 buffer to the pool and removes it from the
+// release list. On a nil run this is plain RecycleF64.
+func (r *Run) RecycleF64(b []float64) { r.recycleF64(b) }
+
 // Live reports how many pooled buffers the run currently owns — zero
 // after a clean run, and the quantity Drain returns to the pools after
 // an unwind. Nil-safe.

@@ -42,6 +42,7 @@ import (
 
 	"gisnav/internal/engine"
 	"gisnav/internal/faultpoint"
+	"gisnav/internal/pyramid"
 	"gisnav/internal/sql"
 )
 
@@ -495,6 +496,7 @@ type Stats struct {
 	StmtCache  sql.StmtCacheStats               `json:"stmt_cache"`
 	PlanCaches map[string]engine.PlanCacheStats `json:"plan_caches"`
 	Pools      map[string]engine.PoolStats      `json:"pools"`
+	Pyramid    pyramid.Stats                    `json:"pyramid"`
 }
 
 // Stats snapshots the server.
@@ -520,6 +522,7 @@ func (s *Server) Stats() Stats {
 			"range":     engine.RangePoolStats(),
 			"f64":       engine.F64PoolStats(),
 		},
+		Pyramid: pyramid.Snapshot(),
 	}
 	for _, name := range s.db.Tables() {
 		if pc, err := s.db.PointCloud(name); err == nil {

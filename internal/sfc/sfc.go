@@ -147,6 +147,40 @@ func clampCell(f float64, order uint) uint32 {
 	return max
 }
 
+// CellBox returns the closed envelope of raster cell (cx, cy) — the
+// spatial inverse of Cell. Interior edges are derived from the same extent
+// arithmetic Cell quantises with, so a coordinate maps into a cell whose
+// closed box contains it (up to float rounding at shared interior edges,
+// the same tolerance the grid refiner's cell classification accepts);
+// cells on the extent boundary snap their outer edge to the extent
+// exactly, so coordinates that Cell clamps — points on the extent maximum
+// — stay inside the last cell's box.
+func (g Grid) CellBox(cx, cy uint32) geom.Envelope {
+	n := float64(uint64(1) << g.Order)
+	last := uint32(1)<<g.Order - 1
+	w := g.Extent.Width() / n
+	h := g.Extent.Height() / n
+	box := geom.Envelope{
+		MinX: g.Extent.MinX + float64(cx)*w,
+		MinY: g.Extent.MinY + float64(cy)*h,
+		MaxX: g.Extent.MinX + float64(cx+1)*w,
+		MaxY: g.Extent.MinY + float64(cy+1)*h,
+	}
+	if cx == 0 {
+		box.MinX = g.Extent.MinX
+	}
+	if cy == 0 {
+		box.MinY = g.Extent.MinY
+	}
+	if cx >= last {
+		box.MaxX = g.Extent.MaxX
+	}
+	if cy >= last {
+		box.MaxY = g.Extent.MaxY
+	}
+	return box
+}
+
 // Key returns the curve key of coordinate (x, y) under curve c.
 func (g Grid) Key(c Curve, x, y float64) uint64 {
 	cx, cy := g.Cell(x, y)

@@ -9,6 +9,7 @@ import (
 
 	"gisnav/internal/cancel"
 	"gisnav/internal/engine"
+	"gisnav/internal/pyramid"
 )
 
 // GROUP BY: planning and execution. Each select item must be either an
@@ -122,6 +123,12 @@ type groupedPlan struct {
 	keyCol  string
 	specs   []engine.GroupedAggSpec
 	scratch engine.GroupedResult
+
+	// Pyramid eligibility (PR 10): a non-empty pyrSig names the
+	// pre-aggregation pyramid shape (u8 key, count/min/max specs) this
+	// statement can route through when its only filter is a spatial
+	// region. Shape-derived only, like keyCol/specs — rebinds keep it.
+	pyrSig string
 }
 
 // planGrouped classifies a GROUP BY statement once, at Prepare time.
@@ -173,6 +180,11 @@ func planGrouped(b *binding, stmt *SelectStmt, mode planMode) (*groupedPlan, err
 		}
 	}
 	gp.vectorize(b, mode)
+	if gp.keyCol != "" {
+		if sig, ok := pyramid.Shape(b.pc, gp.keyCol, gp.specs); ok {
+			gp.pyrSig = sig
+		}
+	}
 	return gp, nil
 }
 
@@ -232,21 +244,7 @@ func execGrouped(rs *engine.Run, p *queryPlan, stmt *SelectStmt, rows []int, isV
 			return nil, err
 		}
 		strategy = gp.scratch.Strategy
-		ks := gp.scratch.Keys
-		res.Rows = make([][]Value, 0, len(ks))
-		for i := range ks {
-			row := make([]Value, len(gp.items))
-			ai := 0
-			for j, ip := range gp.items {
-				if ip.keyIndex >= 0 {
-					row[j] = numVal(ks[i])
-				} else {
-					row[j] = numVal(gp.scratch.Cols[ai][i])
-					ai++
-				}
-			}
-			res.Rows = append(res.Rows, row)
-		}
+		materialiseGrouped(gp, res)
 		// Engine results arrive already in FloatOrderKey order.
 	} else {
 		if err := interpretGrouped(rs, p, gp, rows, isVector, res); err != nil {
@@ -257,8 +255,37 @@ func execGrouped(rs *engine.Run, p *queryPlan, stmt *SelectStmt, rows []int, isV
 		ex.Add("group", fmt.Sprintf("%s: %d groups over %d keys", strategy, len(res.Rows), len(gp.groupBy)),
 			len(rows), len(res.Rows), time.Since(start))
 	}
+	if err := groupedTail(p, stmt, gp, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
-	// ORDER BY over an output column (by alias or expression text).
+// materialiseGrouped expands the engine's column-shaped grouped result
+// (gp.scratch) into Value rows in select-item order — shared by the exact
+// vectorized arm and the pyramid arm, so both emit identical rows for
+// identical scratch contents.
+func materialiseGrouped(gp *groupedPlan, res *Result) {
+	ks := gp.scratch.Keys
+	res.Rows = make([][]Value, 0, len(ks))
+	for i := range ks {
+		row := make([]Value, len(gp.items))
+		ai := 0
+		for j, ip := range gp.items {
+			if ip.keyIndex >= 0 {
+				row[j] = numVal(ks[i])
+			} else {
+				row[j] = numVal(gp.scratch.Cols[ai][i])
+				ai++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
+
+// groupedTail applies ORDER BY over an output column (by alias or
+// expression text) and LIMIT — the shared tail of every grouped arm.
+func groupedTail(p *queryPlan, stmt *SelectStmt, gp *groupedPlan, res *Result) error {
 	if stmt.Order != nil {
 		col := -1
 		want := stmt.Order.Expr.exprString()
@@ -269,7 +296,7 @@ func execGrouped(rs *engine.Run, p *queryPlan, stmt *SelectStmt, rows []int, isV
 			}
 		}
 		if col < 0 {
-			return nil, fmt.Errorf("sql: ORDER BY %q must name a select item in grouped queries", want)
+			return fmt.Errorf("sql: ORDER BY %q must name a select item in grouped queries", want)
 		}
 		desc := stmt.Order.Desc
 		sort.SliceStable(res.Rows, func(a, c int) bool {
@@ -282,7 +309,47 @@ func execGrouped(rs *engine.Run, p *queryPlan, stmt *SelectStmt, rows []int, isV
 	if p.limit >= 0 && len(res.Rows) > p.limit {
 		res.Rows = res.Rows[:p.limit]
 	}
-	return res, nil
+	return nil
+}
+
+// tryPyramid routes an eligible viewport-histogram statement — grouped
+// output, pyramid-eligible shape, a spatial region as the ONLY filter —
+// through the pre-aggregation pyramid: interior tiles answer from
+// O(visible tiles) of pre-aggregates, boundary tiles refine exactly, and
+// the result is bit-identical to the exact arm (the shape gate admits
+// only merge-exact count/min/max aggregates). ok=false falls back to the
+// exact selection + grouped-kernel path with nothing consumed: the
+// pyramid declines tables it cannot tile (empty, degenerate extent),
+// regions whose envelopes it cannot span, and disabled routing. The
+// pyramid itself is cached per (table, epoch, shape); an epoch bump
+// (Append/InvalidateIndexes) drops it lazily on next lookup.
+func (pq *PreparedQuery) tryPyramid(rs *engine.Run, p *queryPlan, ex *engine.Explain) (res *Result, ok bool, err error) {
+	gp := p.grouped
+	if p.out != outGrouped || gp == nil || gp.pyrSig == "" ||
+		p.region == nil || len(p.preds) > 0 || len(p.generic) > 0 {
+		return nil, false, nil
+	}
+	start := time.Now()
+	pyr, err := pyramid.For(rs, p.b.pc, gp.keyCol, gp.specs, gp.pyrSig, ex)
+	if err != nil || pyr == nil {
+		return nil, false, err
+	}
+	defer pyr.Release()
+	qs, served, err := pyr.QueryRegionRun(rs, p.region, gp.specs, &gp.scratch)
+	if err != nil || !served {
+		return nil, false, err
+	}
+	res = &Result{Columns: gp.cols, Explain: ex}
+	materialiseGrouped(gp, res)
+	if ex != nil { // Sprintf stays off the untraced steady-state path
+		ex.Add("group", fmt.Sprintf("pyramid(level %d, interior %d, boundary %d): %d groups over %d keys",
+			qs.Level, qs.Interior, qs.Boundary, len(res.Rows), len(gp.groupBy)),
+			qs.BoundaryRows, len(res.Rows), time.Since(start))
+	}
+	if err := groupedTail(p, pq.stmt, gp, res); err != nil {
+		return nil, true, err
+	}
+	return res, true, nil
 }
 
 // interpretGrouped is the row-at-a-time fallback arm: evaluate the key

@@ -141,6 +141,14 @@ func (pq *PreparedQuery) run(rs *engine.Run, ex *engine.Explain, params []Value,
 // --- point cloud execution ---------------------------------------------------
 
 func (pq *PreparedQuery) runPointCloud(rs *engine.Run, p *queryPlan, ex *engine.Explain) (*Result, error) {
+	// Viewport-histogram shapes route through the pre-aggregation pyramid
+	// before any row selection happens: the pyramid answers from O(visible
+	// tiles) of pre-aggregates plus exact boundary refinement, bypassing
+	// the O(selected rows) scan below. A decline (ok=false, err=nil) falls
+	// through to the exact arm untouched.
+	if res, ok, err := pq.tryPyramid(rs, p, ex); ok || err != nil {
+		return res, err
+	}
 	var rows []int
 	if p.region != nil {
 		if ex != nil {
